@@ -1,0 +1,118 @@
+// Package preexec_test holds the benchmark harness: one testing.B target
+// per table and figure in the paper's evaluation (§4). Each benchmark
+// iteration regenerates the complete experiment across the ten-benchmark
+// suite; run a single one with e.g.
+//
+//	go test -bench=BenchmarkTable2 -benchmem
+//
+// and print the actual rows with cmd/texp. The windows here are slightly
+// smaller than texp's defaults so a full -bench=. sweep stays in the
+// minutes range; EXPERIMENTS.md records full-size runs.
+package preexec_test
+
+import (
+	"testing"
+
+	"preexec/internal/core"
+	"preexec/internal/experiments"
+	"preexec/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Warm: 20_000, Measure: 60_000}
+}
+
+// BenchmarkTable1 regenerates the benchmark characterization (paper Table 1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the primary results and model validation
+// (paper Table 2): base, pre-execution, the three diagnostic modes, and the
+// framework's predictions, per benchmark.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the §3 worked example's end-to-end
+// counterpart: the pharmacy program evaluated under the default framework
+// (Figures 1-3 are exercised analytically in the unit tests and
+// examples/pharmacy).
+func BenchmarkFigure2(b *testing.B) {
+	w, err := workload.ByName("vpr.r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.Build(1)
+	cfg := core.DefaultConfig()
+	cfg.WarmInsts, cfg.MeasureInsts = 20_000, 60_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the slicing-scope x p-thread-length sweep.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the optimization & merging comparison.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the selection-granularity comparison.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the selection input data-set comparison
+// (perfect / dynamic / static scenarios).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the memory-latency cross-validation.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWidth regenerates the processor-width cross-validation (§4.5).
+func BenchmarkWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Width(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

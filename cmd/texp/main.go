@@ -1,0 +1,93 @@
+// Command texp regenerates the paper's tables and figures on the synthetic
+// benchmark suite.
+//
+// Usage:
+//
+//	texp -exp table1|table2|fig4|fig5|fig6|fig7|fig8|width|all \
+//	     [-bench name,name,...] [-scale N] [-warm N] [-measure N]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"preexec/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1 table2 fig4 fig5 fig6 fig7 fig8 width ablate all")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
+		scale   = flag.Int("scale", 1, "workload scale multiplier")
+		warm    = flag.Int64("warm", 30_000, "warm-up instructions")
+		measure = flag.Int64("measure", 120_000, "measured instructions")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Warm: *warm, Measure: *measure}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	if err := run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "texp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts experiments.Options) error {
+	type figFn func(experiments.Options) ([]experiments.FigRow, error)
+	figures := []struct {
+		name  string
+		title string
+		fn    figFn
+	}{
+		{"fig4", "Figure 4: combined impact of slicing scope and p-thread length", experiments.Figure4},
+		{"fig5", "Figure 5: impact of p-thread optimization and merging", experiments.Figure5},
+		{"fig6", "Figure 6: impact of p-thread selection granularity", experiments.Figure6},
+		{"fig7", "Figure 7: impact of p-thread selection input data-set", experiments.Figure7},
+		{"fig8", "Figure 8: response to variations in memory latency", experiments.Figure8},
+		{"width", "Width: response to variations in processor width (§4.5)", experiments.Width},
+		{"ablate", "Ablation: this reproduction's model refinements (DESIGN.md)", experiments.Ablation},
+	}
+
+	ran := false
+	if exp == "table1" || exp == "all" {
+		ran = true
+		rows, err := experiments.Table1(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: benchmark characterization")
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if exp == "table2" || exp == "all" {
+		ran = true
+		rows, err := experiments.Table2(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 2: basic results and performance model validation")
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	for _, f := range figures {
+		if exp != f.name && exp != "all" {
+			continue
+		}
+		ran = true
+		rows, err := f.fn(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.title)
+		fmt.Println(experiments.FormatFigRows(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Command tselect is the p-thread selection tool of the paper's flow
+// (§4.1): it reads a slice-tree file written by tsim -profile, applies the
+// selection framework with the given processor and p-thread construction
+// parameters, and prints the selected static p-threads with the model's
+// predictions. Because the slice-tree file is independent of the pipeline
+// parameters, many p-thread sets can be generated from one profile quickly.
+//
+// Usage:
+//
+//	tselect -forest forest.json -ipc 1.3 [-width 8] [-memlat 70]
+//	        [-maxlen 32] [-opt] [-merge]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"preexec/internal/advantage"
+	"preexec/internal/pthread"
+	"preexec/internal/selector"
+	"preexec/internal/slice"
+)
+
+func main() {
+	var (
+		forestPath = flag.String("forest", "", "slice-tree file (from tsim -profile)")
+		ipc        = flag.Float64("ipc", 1.0, "unassisted main-thread IPC on the sample")
+		width      = flag.Float64("width", 8, "processor sequencing width")
+		memlat     = flag.Float64("memlat", 70, "miss latency to tolerate (cycles)")
+		maxlen     = flag.Int("maxlen", 32, "maximum p-thread length (instructions)")
+		opt        = flag.Bool("opt", true, "enable p-thread optimization")
+		merge      = flag.Bool("merge", true, "enable p-thread merging")
+		out        = flag.String("o", "", "write the selected p-threads to this file (for tsim -pthreads)")
+	)
+	flag.Parse()
+	if *forestPath == "" {
+		fmt.Fprintln(os.Stderr, "tselect: -forest is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	forest, err := slice.Load(*forestPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tselect:", err)
+		os.Exit(1)
+	}
+	params := advantage.Params{
+		BWSeq: *width, IPC: *ipc, MemLat: *memlat,
+		MaxLen: *maxlen, Optimize: *opt, LoadLat: 6,
+	}
+	res := selector.SelectForest(forest, selector.Options{Params: params, Merge: *merge})
+	fmt.Printf("sample: %d insts, %d loads, %d L2 misses, %d slice trees\n",
+		forest.Insts, forest.Loads, forest.L2Misses, len(forest.Trees))
+	fmt.Printf("selected %d static p-thread(s)\n\n", len(res.PThreads))
+	for _, pt := range res.PThreads {
+		fmt.Println(pt)
+	}
+	p := res.Pred
+	fmt.Printf("predicted: launches=%d insts/p-thread=%.1f misses covered=%d fully=%d ADVagg=%.0f cycles\n",
+		p.Launches, p.InstsPerPThread, p.MissesCovered, p.MissesFullCov, p.ADVagg)
+	if forest.Insts > 0 {
+		fmt.Printf("predicted IPC: %.3f (base %.3f)\n",
+			selector.PredictIPC(p, forest.Insts, *ipc, *width), *ipc)
+	}
+	if *out != "" {
+		if err := pthread.Save(*out, res.PThreads); err != nil {
+			fmt.Fprintln(os.Stderr, "tselect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d p-thread(s) to %s\n", len(res.PThreads), *out)
+	}
+}

@@ -1,0 +1,148 @@
+// Command tsim runs the simulators on a benchmark from the synthetic suite.
+//
+// Profile mode (the paper's functional cache simulator, §4.1) writes the
+// slice-tree file consumed by tselect:
+//
+//	tsim -bench vpr.p -profile forest.json [-scope 1024] [-maxlen 32]
+//
+// Timing mode (the paper's detailed simulator) runs the base machine or the
+// full pre-execution pipeline end to end:
+//
+//	tsim -bench vpr.p                 # base machine
+//	tsim -bench vpr.p -preexec        # profile + select + pre-execute
+//	tsim -bench vpr.p -preexec -mode overhead-sequence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"preexec/internal/core"
+	"preexec/internal/pthread"
+	"preexec/internal/slice"
+	"preexec/internal/timing"
+	"preexec/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name (see -list)")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		test    = flag.Bool("test", false, "use the test-input variant")
+		scale   = flag.Int("scale", 1, "workload scale multiplier")
+		warm    = flag.Int64("warm", 30_000, "warm-up instructions")
+		measure = flag.Int64("measure", 120_000, "measured instructions")
+
+		profile = flag.String("profile", "", "write a slice-tree file and exit")
+		scope   = flag.Int("scope", 1024, "slicing scope (profile mode)")
+		maxlen  = flag.Int("maxlen", 32, "max p-thread length")
+
+		preexec = flag.Bool("preexec", false, "run the full pre-execution pipeline")
+		ptsPath = flag.String("pthreads", "", "simulate a p-thread file written by tselect -o")
+		mode    = flag.String("mode", "pre-exec", "p-thread mode: pre-exec overhead-execute overhead-sequence latency-only")
+		width   = flag.Int("width", 8, "processor width")
+		memlat  = flag.Int("memlat", 70, "memory latency (cycles)")
+	)
+	flag.Parse()
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-8s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsim:", err)
+		os.Exit(2)
+	}
+	prog := w.Build(*scale)
+	if *test {
+		prog = w.BuildTest(*scale)
+	}
+
+	if *profile != "" {
+		forest, err := slice.ProfileWhole(prog, slice.ProfileOptions{
+			WarmInsts: *warm, MaxInsts: *measure, Scope: *scope, MaxSlice: *maxlen,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsim:", err)
+			os.Exit(1)
+		}
+		if err := forest.Save(*profile); err != nil {
+			fmt.Fprintln(os.Stderr, "tsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d insts, %d loads, %d L2 misses, %d slice trees -> %s\n",
+			prog.Name, forest.Insts, forest.Loads, forest.L2Misses, len(forest.Trees), *profile)
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.WarmInsts, cfg.MeasureInsts = *warm, *measure
+	cfg.Scope, cfg.MaxLen = *scope, *maxlen
+	cfg.Width, cfg.MemLat = *width, *memlat
+
+	if *ptsPath != "" {
+		pts, err := pthread.Load(*ptsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsim:", err)
+			os.Exit(1)
+		}
+		st, err := core.RunMode(prog, pts, cfg, parseMode(*mode))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsim:", err)
+			os.Exit(1)
+		}
+		printStats(fmt.Sprintf("%s (%d p-threads from %s)", prog.Name, len(pts), *ptsPath), st)
+		return
+	}
+
+	if !*preexec {
+		st, err := core.RunMode(prog, nil, cfg, timing.ModeBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsim:", err)
+			os.Exit(1)
+		}
+		printStats(prog.Name+" (base)", st)
+		return
+	}
+
+	rep, err := core.Evaluate(prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsim:", err)
+		os.Exit(1)
+	}
+	printStats(prog.Name+" (base)", rep.Base)
+	if m := parseMode(*mode); m != timing.ModeNormal {
+		st, err := core.RunMode(prog, rep.Selection.PThreads, cfg, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsim:", err)
+			os.Exit(1)
+		}
+		printStats(fmt.Sprintf("%s (%s)", prog.Name, m), st)
+		return
+	}
+	printStats(prog.Name+" (pre-exec)", rep.Pre)
+	fmt.Printf("p-threads: %d selected, coverage %.1f%% (full %.1f%%), speedup %+.1f%%, predicted IPC %.3f\n",
+		len(rep.Selection.PThreads), rep.CoveragePct(), rep.FullCoveragePct(), rep.SpeedupPct(), rep.PredIPC)
+}
+
+func parseMode(s string) timing.Mode {
+	switch s {
+	case "overhead-execute":
+		return timing.ModeOverheadExecute
+	case "overhead-sequence":
+		return timing.ModeOverheadSequence
+	case "latency-only":
+		return timing.ModeLatencyOnly
+	default:
+		return timing.ModeNormal
+	}
+}
+
+func printStats(title string, st timing.Stats) {
+	fmt.Printf("%s: IPC %.3f (%d insts, %d cycles), loads %d, L2 misses %d, covered %d (full %d), launches %d (dropped %d), p-thread insts %d, mispredicts %d\n",
+		title, st.IPC, st.Retired, st.Cycles, st.Loads, st.L2Misses,
+		st.MissesCovered, st.MissesFullCovered, st.Launches, st.Drops, st.PtInsts, st.BrMispred)
+}

@@ -1,0 +1,91 @@
+// Pharmacy: the paper's §2 running example, reproduced end to end.
+//
+// First the analytical side: the Figure 3 slice tree with the worked
+// example's statistics, every Figure 2 candidate's aggregate-advantage
+// calculation, and the two-p-thread solution (F and J) plus their merge.
+// Then the empirical side: the Figure 1 loop as a runnable program, profiled
+// and pre-executed in simulation.
+//
+//	go run ./examples/pharmacy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"preexec/internal/advantage"
+	"preexec/internal/core"
+	"preexec/internal/pharmacy"
+	"preexec/internal/selector"
+	"preexec/internal/slice"
+)
+
+func main() {
+	analytical()
+	empirical()
+}
+
+func analytical() {
+	fmt.Println("=== The worked example (paper §3, Figures 2 and 3) ===")
+	ps := pharmacy.PaperTree()
+	fmt.Println("slice tree (Figure 3):")
+	fmt.Println(ps.Tree.String())
+
+	bw, ipc, lcm, maxLen := pharmacy.PaperParams()
+	params := advantage.Params{BWSeq: bw, IPC: ipc, MemLat: lcm, MaxLen: maxLen}
+	fmt.Printf("machine: %g-wide, unassisted IPC %g (BWseq-mt %g), miss latency %g\n\n",
+		bw, ipc, params.BWSeqMT(), lcm)
+
+	// Walk the left path (the computation through #04) and score all six
+	// candidates, Figure 2 style.
+	var left []*slice.Node
+	ps.Tree.Walk(func(p []*slice.Node) {
+		if len(p) > len(left) {
+			left = append([]*slice.Node{}, p...)
+		}
+	})
+	fmt.Println("candidate p-threads on the #04 path (Figure 2):")
+	for k := 1; k < len(left); k++ {
+		s, ok := advantage.ScorePath(left[:k+1], ps.DCtrig, params)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  cand %d: trigger #%02d  SIZE=%d  SCDHmt=%g SCDHpt=%g  LT=%g  OH=%.3f  DCtrig=%d DCpt-cm=%d  ADVagg=%g\n",
+			k, left[k].PC, s.Size, s.SCDHmt, s.SCDHpt, s.LT, s.OH, s.DCtrig, s.DCptcm, s.ADVagg)
+	}
+
+	// Solve the whole tree (both computations) and merge.
+	forest := slice.NewForest()
+	forest.Trees[9] = ps.Tree
+	forest.DCtrig = ps.DCtrig
+	forest.Insts = 1300
+
+	res := selector.SelectForest(forest, selector.Options{Params: params})
+	fmt.Printf("\ncomplete solution: %d p-threads (the paper's F and J)\n", len(res.PThreads))
+	for _, pt := range res.PThreads {
+		fmt.Println(pt)
+	}
+	merged := selector.SelectForest(forest, selector.Options{Params: params, Merge: true})
+	fmt.Printf("after merging (§3.3): %d p-thread capturing both computations\n", len(merged.PThreads))
+	for _, pt := range merged.PThreads {
+		fmt.Println(pt)
+	}
+}
+
+func empirical() {
+	fmt.Println("=== The pharmacy loop, simulated (Figure 1) ===")
+	prog := pharmacy.Program_(pharmacy.DefaultConfig())
+	fmt.Println(prog.Disassemble())
+	cfg := core.DefaultConfig()
+	cfg.MaxLen = 8 // the worked example's constraint: p-threads under 8 insts
+	rep, err := core.Evaluate(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base IPC %.3f, %d L2 misses on load #09\n", rep.Base.IPC, rep.BaseMisses)
+	for _, pt := range rep.Selection.PThreads {
+		fmt.Println(pt)
+	}
+	fmt.Printf("pre-exec IPC %.3f, coverage %.1f%% (full %.1f%%), speedup %+.1f%%\n",
+		rep.Pre.IPC, rep.CoveragePct(), rep.FullCoveragePct(), rep.SpeedupPct())
+}

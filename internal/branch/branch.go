@@ -1,0 +1,169 @@
+// Package branch implements the front-end branch prediction structures of
+// the paper's base processor (§4.1): a hybrid predictor of roughly 6K
+// two-bit entries (bimodal + gshare with a chooser) and a 2K-entry BTB.
+//
+// The timing simulator consults the predictor at fetch; mispredictions stall
+// fetch until the branch resolves (plus a redirect penalty), which is the
+// mechanism behind the paper's observation that full-coverage
+// under-estimation is dominant in benchmarks with high misprediction rates.
+package branch
+
+// counter is a 2-bit saturating counter; >= 2 predicts taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Config sizes the predictor tables. All sizes must be powers of two.
+type Config struct {
+	BimodalEntries int
+	GshareEntries  int
+	ChooserEntries int
+	HistoryBits    uint
+	BTBEntries     int
+}
+
+// DefaultConfig approximates the paper's 6K-entry hybrid + 2K BTB.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries: 2048,
+		GshareEntries:  2048,
+		ChooserEntries: 2048,
+		HistoryBits:    10,
+		BTBEntries:     2048,
+	}
+}
+
+// Predictor is a hybrid direction predictor plus BTB.
+type Predictor struct {
+	cfg     Config
+	bimodal []counter
+	gshare  []counter
+	chooser []counter // >=2 means "use gshare"
+	history uint64
+
+	btbTags    []int
+	btbTargets []int
+
+	// Statistics.
+	Lookups    int64
+	Mispredict int64
+}
+
+// New builds a predictor. Counters initialize to weakly-not-taken (1),
+// chooser to weakly-bimodal (1).
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:        cfg,
+		bimodal:    make([]counter, cfg.BimodalEntries),
+		gshare:     make([]counter, cfg.GshareEntries),
+		chooser:    make([]counter, cfg.ChooserEntries),
+		btbTags:    make([]int, cfg.BTBEntries),
+		btbTargets: make([]int, cfg.BTBEntries),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	for i := range p.btbTags {
+		p.btbTags[i] = -1
+	}
+	return p
+}
+
+func (p *Predictor) bimodalIdx(pc int) int { return pc & (len(p.bimodal) - 1) }
+
+func (p *Predictor) gshareIdx(pc int) int {
+	h := p.history & ((1 << p.cfg.HistoryBits) - 1)
+	return (pc ^ int(h)) & (len(p.gshare) - 1)
+}
+
+func (p *Predictor) chooserIdx(pc int) int { return pc & (len(p.chooser) - 1) }
+
+// Predict returns the predicted direction for the conditional branch at pc.
+func (p *Predictor) Predict(pc int) bool {
+	p.Lookups++
+	if p.chooser[p.chooserIdx(pc)].taken() {
+		return p.gshare[p.gshareIdx(pc)].taken()
+	}
+	return p.bimodal[p.bimodalIdx(pc)].taken()
+}
+
+// Update trains the predictor with the branch's actual outcome. It must be
+// called with the same global-history state Predict saw, i.e. callers
+// predict and update in program order (the timing model trains at fetch,
+// which is optimistic but standard for trace-driven models).
+func (p *Predictor) Update(pc int, taken bool) {
+	bi, gi, ci := p.bimodalIdx(pc), p.gshareIdx(pc), p.chooserIdx(pc)
+	bCorrect := p.bimodal[bi].taken() == taken
+	gCorrect := p.gshare[gi].taken() == taken
+	// Chooser trains toward whichever component was (solely) correct.
+	if gCorrect && !bCorrect {
+		p.chooser[ci] = p.chooser[ci].update(true)
+	} else if bCorrect && !gCorrect {
+		p.chooser[ci] = p.chooser[ci].update(false)
+	}
+	p.bimodal[bi] = p.bimodal[bi].update(taken)
+	p.gshare[gi] = p.gshare[gi].update(taken)
+	p.history = (p.history << 1) | boolBit(taken)
+}
+
+// PredictAndTrain predicts, trains with the actual outcome, and reports
+// whether the prediction was correct. Convenience for the fetch stage.
+func (p *Predictor) PredictAndTrain(pc int, actual bool) (predicted, correct bool) {
+	predicted = p.Predict(pc)
+	correct = predicted == actual
+	if !correct {
+		p.Mispredict++
+	}
+	p.Update(pc, actual)
+	return predicted, correct
+}
+
+// BTBLookup returns the predicted target for pc, or -1 on a BTB miss.
+func (p *Predictor) BTBLookup(pc int) int {
+	i := pc & (len(p.btbTags) - 1)
+	if p.btbTags[i] == pc {
+		return p.btbTargets[i]
+	}
+	return -1
+}
+
+// BTBInsert records pc -> target.
+func (p *Predictor) BTBInsert(pc, target int) {
+	i := pc & (len(p.btbTags) - 1)
+	p.btbTags[i] = pc
+	p.btbTargets[i] = target
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredict) / float64(p.Lookups)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

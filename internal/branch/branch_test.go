@@ -1,0 +1,151 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter = %d, want saturated at 3", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter = %d, want saturated at 0", c)
+	}
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := 100
+	for i := 0; i < 8; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("predictor failed to learn always-taken branch")
+	}
+}
+
+func TestLearnsAlwaysNotTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := 100
+	for i := 0; i < 8; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Error("predictor failed to learn never-taken branch")
+	}
+}
+
+func TestLearnsAlternatingViaGshare(t *testing.T) {
+	// A strictly alternating branch is hopeless for bimodal but trivial for
+	// gshare once the chooser steers toward it. Accuracy over the second
+	// half of a training run should be high.
+	p := New(DefaultConfig())
+	pc := 7
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		actual := i%2 == 0
+		pred, ok := p.PredictAndTrain(pc, actual)
+		_ = pred
+		if i >= 2000 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("alternating-branch accuracy = %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestLoopBranchAccuracy(t *testing.T) {
+	// A loop back-edge taken 9 of 10 times: bimodal should get ~90%+.
+	p := New(DefaultConfig())
+	pc := 33
+	correct, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		actual := i%10 != 9
+		_, ok := p.PredictAndTrain(pc, actual)
+		if i >= 1000 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("loop-branch accuracy = %.2f, want >= 0.85", acc)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	pc := 5
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		actual := rng.Intn(2) == 0
+		_, ok := p.PredictAndTrain(pc, actual)
+		total++
+		if ok {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.40 || acc > 0.60 {
+		t.Errorf("random-branch accuracy = %.2f, want ~0.5", acc)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	if got := p.BTBLookup(42); got != -1 {
+		t.Errorf("empty BTB lookup = %d, want -1", got)
+	}
+	p.BTBInsert(42, 7)
+	if got := p.BTBLookup(42); got != 7 {
+		t.Errorf("BTB lookup = %d, want 7", got)
+	}
+	// Conflicting pc (same index, different tag) must miss.
+	conflict := 42 + len(p.btbTags)
+	if got := p.BTBLookup(conflict); got != -1 {
+		t.Errorf("conflicting BTB lookup = %d, want -1", got)
+	}
+	p.BTBInsert(conflict, 9)
+	if got := p.BTBLookup(42); got != -1 {
+		t.Errorf("evicted BTB entry lookup = %d, want -1", got)
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.MispredictRate() != 0 {
+		t.Error("fresh predictor should report rate 0")
+	}
+	for i := 0; i < 100; i++ {
+		p.PredictAndTrain(3, true)
+	}
+	if r := p.MispredictRate(); r > 0.10 {
+		t.Errorf("always-taken mispredict rate = %.2f, want small", r)
+	}
+}
+
+func TestDistinctBranchesIndependentBimodal(t *testing.T) {
+	p := New(DefaultConfig())
+	// Train two branches with opposite biases; both should be learned.
+	for i := 0; i < 10; i++ {
+		p.Update(10, true)
+		p.Update(11, false)
+	}
+	if !p.Predict(10) || p.Predict(11) {
+		t.Error("aliasing between distinct branch PCs in bimodal table")
+	}
+}

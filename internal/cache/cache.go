@@ -1,0 +1,227 @@
+// Package cache implements set-associative, LRU, write-back caches with the
+// per-line timestamp metadata the paper's coverage accounting needs
+// (p-thread request time, main-thread request time, ready time; §4.3
+// "Latency Tolerance" diagnostics).
+//
+// The same Cache type serves the functional cache simulator (which only asks
+// hit/miss) and the timing simulator (which additionally uses timestamps and
+// in-flight fill state; fill timing itself lives in package timing).
+package cache
+
+import "fmt"
+
+// Line is one cache line's bookkeeping state.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	lru   uint64
+
+	// Pre-execution coverage metadata (used by the L2 in timing simulation).
+	// BroughtByPt marks a line whose fill was initiated by a p-thread load.
+	BroughtByPt bool
+	// PtReqAt is the cycle a p-thread requested the line (valid if BroughtByPt).
+	PtReqAt int64
+	// ReadyAt is the cycle the fill completes (lines may be "present" in the
+	// tag array while still in flight; callers compare against ReadyAt).
+	ReadyAt int64
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a positive power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache.
+type Cache struct {
+	cfg       Config
+	sets      [][]Line
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+
+	// Statistics.
+	Accesses int64
+	Misses   int64
+}
+
+// New builds a cache from cfg, panicking on invalid geometry (configurations
+// are static and validated in tests; see Config.Validate for checked use).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([][]Line, nsets)
+	backing := make([]Line, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(nsets - 1),
+		lineShift: shift,
+	}
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockAddr returns the line-aligned address containing addr.
+func (c *Cache) BlockAddr(addr int64) int64 {
+	return int64(uint64(addr) &^ uint64(c.cfg.LineBytes-1))
+}
+
+func (c *Cache) index(addr int64) (set uint64, tag uint64) {
+	a := uint64(addr) >> c.lineShift
+	return a & c.setMask, a >> 0 // tag keeps full line address; simple and unambiguous
+}
+
+// Lookup returns the line holding addr without updating LRU or statistics,
+// or nil if absent.
+func (c *Cache) Lookup(addr int64) *Line {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].Valid && lines[i].Tag == tag {
+			return &lines[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a read or write access: it touches LRU state, updates
+// statistics, and on a miss installs the line (evicting LRU), returning
+// (hit, evictedDirty). The returned line pointer is the (possibly new) line
+// for addr, so callers can set timestamps.
+func (c *Cache) Access(addr int64, write bool) (hit bool, victimDirty bool, line *Line) {
+	c.Accesses++
+	c.tick++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].Valid && lines[i].Tag == tag {
+			lines[i].lru = c.tick
+			if write {
+				lines[i].Dirty = true
+			}
+			return true, false, &lines[i]
+		}
+	}
+	c.Misses++
+	// Choose victim: first invalid, else least recently used.
+	victim := 0
+	for i := range lines {
+		if !lines[i].Valid {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	victimDirty = lines[victim].Valid && lines[victim].Dirty
+	lines[victim] = Line{Tag: tag, Valid: true, Dirty: write, lru: c.tick}
+	return false, victimDirty, &lines[victim]
+}
+
+// Probe reports whether addr currently hits, without any side effects.
+func (c *Cache) Probe(addr int64) bool { return c.Lookup(addr) != nil }
+
+// Invalidate removes the line containing addr if present.
+func (c *Cache) Invalidate(addr int64) {
+	if l := c.Lookup(addr); l != nil {
+		*l = Line{}
+	}
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Line{}
+		}
+	}
+	c.Accesses, c.Misses, c.tick = 0, 0, 0
+}
+
+// MissRate returns Misses/Accesses, or 0 if there were no accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Hierarchy bundles the paper's data-memory system geometry: a 16KB 2-way
+// 32B-line L1 data cache and a 256KB 4-way 64B-line L2 (§4.1).
+type Hierarchy struct {
+	L1D *Cache
+	L2  *Cache
+}
+
+// DefaultHierarchy returns the paper's base configuration.
+func DefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1D: New(Config{Name: "L1D", SizeBytes: 16 << 10, LineBytes: 32, Assoc: 2}),
+		L2:  New(Config{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Assoc: 4}),
+	}
+}
+
+// AccessResult classifies a data access in the two-level hierarchy.
+type AccessResult uint8
+
+// Access outcomes.
+const (
+	HitL1 AccessResult = iota
+	HitL2
+	MissL2
+)
+
+func (r AccessResult) String() string {
+	switch r {
+	case HitL1:
+		return "L1 hit"
+	case HitL2:
+		return "L2 hit"
+	default:
+		return "L2 miss"
+	}
+}
+
+// Access sends a demand access through L1 then (on L1 miss) L2, installing
+// lines on the way, and classifies the outcome. Functional use only — the
+// timing simulator drives the two levels separately so it can model
+// contention and in-flight fills.
+func (h *Hierarchy) Access(addr int64, write bool) AccessResult {
+	if hit, _, _ := h.L1D.Access(addr, write); hit {
+		return HitL1
+	}
+	if hit, _, _ := h.L2.Access(addr, false); hit {
+		return HitL2
+	}
+	return MissL2
+}

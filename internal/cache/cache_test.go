@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 32B lines = 256B.
+	return New(Config{Name: "t", SizeBytes: 256, LineBytes: 32, Assoc: 2})
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", SizeBytes: 0, LineBytes: 32, Assoc: 2},
+		{Name: "line", SizeBytes: 256, LineBytes: 24, Assoc: 2},
+		{Name: "sets", SizeBytes: 96, LineBytes: 32, Assoc: 1}, // 3 sets
+		{Name: "assoc", SizeBytes: 256, LineBytes: 32, Assoc: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %s should be invalid", cfg.Name)
+		}
+	}
+	good := Config{Name: "ok", SizeBytes: 16 << 10, LineBytes: 32, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("config ok: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic on invalid config")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 1, LineBytes: 2, Assoc: 3})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if hit, _, _ := c.Access(0x100, false); hit {
+		t.Error("first access should miss")
+	}
+	if hit, _, _ := c.Access(0x100, false); !hit {
+		t.Error("second access should hit")
+	}
+	if hit, _, _ := c.Access(0x11F, false); !hit {
+		t.Error("same-line access should hit")
+	}
+	if hit, _, _ := c.Access(0x120, false); hit {
+		t.Error("next-line access should miss")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("stats = %d/%d, want 4 accesses 2 misses", c.Accesses, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()                                        // 2-way; set stride = 4 sets * 32B = 128B
+	a, b, d := int64(0x000), int64(0x080), int64(0x100) // same set (set 0)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // must evict b
+	if !c.Probe(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be present")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := small()
+	a, b, d := int64(0x000), int64(0x080), int64(0x100)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	_, victimDirty, _ := c.Access(d, false) // evicts a (LRU)
+	if !victimDirty {
+		t.Error("evicting a dirty line must report victimDirty")
+	}
+}
+
+func TestWriteSetsDirtyOnHit(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	c.Access(0x40, true)
+	if l := c.Lookup(0x40); l == nil || !l.Dirty {
+		t.Error("write hit must set dirty")
+	}
+}
+
+func TestLookupNoSideEffects(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	before := c.Accesses
+	if c.Lookup(0x40) == nil {
+		t.Error("Lookup should find installed line")
+	}
+	if c.Lookup(0x999999) != nil {
+		t.Error("Lookup should miss absent line")
+	}
+	if c.Accesses != before {
+		t.Error("Lookup must not count as an access")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	c.Invalidate(0x40)
+	if c.Probe(0x40) {
+		t.Error("line should be invalid after Invalidate")
+	}
+	c.Invalidate(0x12345) // no-op on absent lines
+}
+
+func TestReset(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("Reset should clear stats")
+	}
+	if c.Probe(0x40) {
+		t.Error("Reset should clear contents")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small()
+	if c.MissRate() != 0 {
+		t.Error("empty cache miss rate should be 0")
+	}
+	c.Access(0x40, false)
+	c.Access(0x40, false)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestBlockAddr(t *testing.T) {
+	c := small()
+	if got := c.BlockAddr(0x47); got != 0x40 {
+		t.Errorf("BlockAddr(0x47) = %#x, want 0x40", got)
+	}
+	if got := c.BlockAddr(0x40); got != 0x40 {
+		t.Errorf("BlockAddr(0x40) = %#x, want 0x40", got)
+	}
+}
+
+func TestLineMetadata(t *testing.T) {
+	c := small()
+	_, _, l := c.Access(0x200, false)
+	l.BroughtByPt = true
+	l.PtReqAt = 100
+	l.ReadyAt = 170
+	got := c.Lookup(0x200)
+	if got == nil || !got.BroughtByPt || got.PtReqAt != 100 || got.ReadyAt != 170 {
+		t.Error("line metadata not retained")
+	}
+}
+
+func TestHierarchyClassification(t *testing.T) {
+	h := DefaultHierarchy()
+	addr := int64(0x4000)
+	if got := h.Access(addr, false); got != MissL2 {
+		t.Errorf("first access = %v, want L2 miss", got)
+	}
+	if got := h.Access(addr, false); got != HitL1 {
+		t.Errorf("second access = %v, want L1 hit", got)
+	}
+	// Evict from L1 by filling its set; L1 is 16KB 2-way 32B lines so the
+	// set stride is 8KB. Two conflicting lines evict addr from L1, but it
+	// stays in the (larger) L2.
+	h.Access(addr+8<<10, false)
+	h.Access(addr+16<<10, false)
+	if got := h.Access(addr, false); got != HitL2 {
+		t.Errorf("post-eviction access = %v, want L2 hit", got)
+	}
+}
+
+func TestAccessResultString(t *testing.T) {
+	if HitL1.String() != "L1 hit" || HitL2.String() != "L2 hit" || MissL2.String() != "L2 miss" {
+		t.Error("AccessResult strings wrong")
+	}
+}
+
+func TestQuickProbeAfterAccess(t *testing.T) {
+	c := New(Config{Name: "q", SizeBytes: 1 << 10, LineBytes: 32, Assoc: 4})
+	f := func(addr int64) bool {
+		c.Access(addr, false)
+		return c.Probe(addr) // most recently installed line must be resident
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSameLineAlwaysHitsAfterInstall(t *testing.T) {
+	c := New(Config{Name: "q", SizeBytes: 1 << 10, LineBytes: 32, Assoc: 4})
+	f := func(addr int64, off uint8) bool {
+		c.Access(addr, false)
+		hit, _, _ := c.Access(c.BlockAddr(addr)+int64(off%32), false)
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package core is the framework façade: it wires the substrates together
+// into the paper's tool flow (§4.1) —
+//
+//	functional cache simulation  ->  slice trees        (package slice)
+//	slice trees + parameters     ->  static p-threads   (packages advantage, selector, pthread)
+//	program + p-threads          ->  timing simulation  (package timing)
+//
+// — and returns both the model's predictions and the simulated measurements
+// so callers (experiments, examples, command-line tools) can validate one
+// against the other exactly as the paper does.
+package core
+
+import (
+	"fmt"
+
+	"preexec/internal/advantage"
+	"preexec/internal/program"
+	"preexec/internal/pthread"
+	"preexec/internal/selector"
+	"preexec/internal/slice"
+	"preexec/internal/timing"
+)
+
+// Config is the end-to-end evaluation configuration. Zero values select the
+// paper's base configuration.
+type Config struct {
+	// Run sizing.
+	WarmInsts    int64 // warm-up instructions (caches + predictor only)
+	MeasureInsts int64 // measured instructions
+
+	// P-thread selection parameters (paper §4.1 defaults: scope 1024,
+	// length 32, optimization and merging on).
+	Scope       int
+	MaxLen      int
+	Optimize    bool
+	Merge       bool
+	RegionInsts int64 // non-zero: per-region selection granularity
+
+	// Machine parameters shared by the model and the simulator.
+	Width  int
+	MemLat int
+
+	// SelectOn optionally profiles a different program (e.g. a test input
+	// or a short profiling phase) for selection; nil selects on Program.
+	SelectOn *program.Program
+	// SelectInsts bounds the selection profile (0 = MeasureInsts).
+	SelectInsts int64
+	// SelectMemLat/SelectWidth let cross-validation experiments lie to the
+	// selector about the machine (0 = the simulated values).
+	SelectMemLat int
+	SelectWidth  int
+
+	// Ablation knobs (see the "ablate" experiment): ModelLoadLat overrides
+	// the latency the SCDH model charges in-slice loads (0 = the default L2
+	// hit latency; 1 = the paper's raw unit-latency model); NoRSThrottle
+	// disables the simulator's p-thread injection throttle.
+	ModelLoadLat float64
+	NoRSThrottle bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.WarmInsts == 0 {
+		c.WarmInsts = 30_000
+	}
+	if c.MeasureInsts == 0 {
+		c.MeasureInsts = 120_000
+	}
+	if c.Scope == 0 {
+		c.Scope = 1024
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 32
+	}
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.MemLat == 0 {
+		c.MemLat = 70
+	}
+	if c.SelectInsts == 0 {
+		c.SelectInsts = c.MeasureInsts
+	}
+	if c.SelectMemLat == 0 {
+		c.SelectMemLat = c.MemLat
+	}
+	if c.SelectWidth == 0 {
+		c.SelectWidth = c.Width
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's base evaluation configuration with
+// optimization and merging enabled.
+func DefaultConfig() Config {
+	return Config{Optimize: true, Merge: true}.withDefaults()
+}
+
+// Report is a complete evaluation of one program under one configuration.
+type Report struct {
+	Program string
+	Config  Config
+
+	// Base is the unassisted run; Pre the pre-execution run.
+	Base timing.Stats
+	Pre  timing.Stats
+
+	// Selection holds the chosen p-threads and the model's predictions.
+	Selection selector.Result
+	// BaseMisses is the number of L2 misses the selection profile observed
+	// — the denominator for the paper's coverage percentages.
+	BaseMisses int64
+	// PredIPC is the model's IPC forecast for the pre-execution run.
+	PredIPC float64
+}
+
+// CoveragePct returns measured miss coverage as a percentage of base misses.
+func (r Report) CoveragePct() float64 {
+	if r.BaseMisses == 0 {
+		return 0
+	}
+	return 100 * float64(r.Pre.MissesCovered) / float64(r.BaseMisses)
+}
+
+// FullCoveragePct returns measured full coverage.
+func (r Report) FullCoveragePct() float64 {
+	if r.BaseMisses == 0 {
+		return 0
+	}
+	return 100 * float64(r.Pre.MissesFullCovered) / float64(r.BaseMisses)
+}
+
+// SpeedupPct returns the measured percent speedup of pre-execution.
+func (r Report) SpeedupPct() float64 {
+	if r.Base.IPC == 0 {
+		return 0
+	}
+	return (r.Pre.IPC/r.Base.IPC - 1) * 100
+}
+
+// timingConfig builds the simulator configuration for this evaluation.
+func (c Config) timingConfig(mode timing.Mode) timing.Config {
+	tc := timing.DefaultConfig()
+	tc.Width = c.Width
+	tc.MemLat = c.MemLat
+	tc.WarmInsts = c.WarmInsts
+	tc.MaxInsts = c.MeasureInsts
+	tc.Mode = mode
+	tc.NoRSThrottle = c.NoRSThrottle
+	return tc
+}
+
+// Select runs the selection half of the pipeline: profile (on SelectOn or
+// the program itself), then slice-tree selection with the configured
+// parameters. baseIPC is the unassisted IPC fed to the advantage model.
+func Select(p *program.Program, baseIPC float64, cfg Config) (selector.Result, int64, error) {
+	cfg = cfg.withDefaults()
+	target := cfg.SelectOn
+	if target == nil {
+		target = p
+	}
+	regions, err := slice.Profile(target, slice.ProfileOptions{
+		WarmInsts:   cfg.WarmInsts,
+		MaxInsts:    cfg.SelectInsts,
+		Scope:       cfg.Scope,
+		MaxSlice:    cfg.MaxLen,
+		RegionInsts: cfg.RegionInsts,
+	})
+	if err != nil {
+		return selector.Result{}, 0, err
+	}
+	loadLat := cfg.ModelLoadLat
+	if loadLat <= 0 {
+		loadLat = 6 // in-slice loads hit the L2 at best (see advantage.Params)
+	}
+	params := advantage.Params{
+		BWSeq:    float64(cfg.SelectWidth),
+		IPC:      baseIPC,
+		MemLat:   float64(cfg.SelectMemLat),
+		MaxLen:   cfg.MaxLen,
+		Optimize: cfg.Optimize,
+		LoadLat:  loadLat,
+	}
+	opts := selector.Options{Params: params, Merge: cfg.Merge}
+	var misses int64
+	for _, r := range regions {
+		misses += r.Forest.L2Misses
+	}
+	if cfg.RegionInsts > 0 {
+		return selector.SelectRegions(regions, opts), misses, nil
+	}
+	return selector.SelectForest(regions[0].Forest, opts), misses, nil
+}
+
+// Evaluate runs the full pipeline: base timing run, selection, and the
+// pre-execution timing run.
+func Evaluate(p *program.Program, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{Program: p.Name, Config: cfg}
+
+	base, err := timing.Run(p, nil, cfg.timingConfig(timing.ModeBase))
+	if err != nil {
+		return rep, fmt.Errorf("core: base run: %w", err)
+	}
+	rep.Base = base
+
+	sel, _, err := Select(p, base.IPC, cfg)
+	if err != nil {
+		return rep, fmt.Errorf("core: selection: %w", err)
+	}
+	rep.Selection = sel
+	// The coverage denominator is the measured machine's own demand-miss
+	// count, NOT the selection profile's (which may cover a different input
+	// or a shorter window — Figure 7's dynamic and static scenarios).
+	rep.BaseMisses = base.L2Misses
+	rep.PredIPC = selector.PredictIPC(sel.Pred, cfg.MeasureInsts, base.IPC, float64(cfg.Width))
+
+	pre, err := timing.Run(p, sel.PThreads, cfg.timingConfig(timing.ModeNormal))
+	if err != nil {
+		return rep, fmt.Errorf("core: pre-execution run: %w", err)
+	}
+	rep.Pre = pre
+	return rep, nil
+}
+
+// RunMode re-simulates a completed report's p-threads under a different
+// p-thread mode (the validation diagnostics of §4.3).
+func RunMode(p *program.Program, pts []*pthread.PThread, cfg Config, mode timing.Mode) (timing.Stats, error) {
+	cfg = cfg.withDefaults()
+	return timing.Run(p, pts, cfg.timingConfig(mode))
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"preexec/internal/timing"
+	"preexec/internal/workload"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.Scope != 1024 || c.MaxLen != 32 || !c.Optimize || !c.Merge {
+		t.Errorf("DefaultConfig = %+v", c)
+	}
+	if c.Width != 8 || c.MemLat != 70 {
+		t.Errorf("machine defaults wrong: %+v", c)
+	}
+}
+
+func TestEvaluateVprP(t *testing.T) {
+	w, _ := workload.ByName("vpr.p")
+	p := w.Build(1)
+	cfg := DefaultConfig()
+	cfg.WarmInsts = 20_000
+	cfg.MeasureInsts = 80_000
+	rep, err := Evaluate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Base.IPC <= 0 || rep.Pre.IPC <= 0 {
+		t.Fatal("missing IPCs")
+	}
+	if rep.BaseMisses == 0 {
+		t.Fatal("no base misses profiled")
+	}
+	if rep.CoveragePct() < 30 {
+		t.Errorf("vpr.p coverage = %.1f%%, want substantial", rep.CoveragePct())
+	}
+	if rep.SpeedupPct() <= 0 {
+		t.Errorf("vpr.p speedup = %.1f%%, want positive", rep.SpeedupPct())
+	}
+	if rep.PredIPC <= rep.Base.IPC {
+		t.Errorf("prediction should forecast improvement: pred %.2f base %.2f", rep.PredIPC, rep.Base.IPC)
+	}
+}
+
+func TestSelectOnDifferentInput(t *testing.T) {
+	w, _ := workload.ByName("vpr.p")
+	train := w.Build(1)
+	test := w.BuildTest(1)
+	cfg := DefaultConfig()
+	cfg.WarmInsts = 20_000
+	cfg.MeasureInsts = 60_000
+	cfg.SelectOn = test
+	cfg.SelectInsts = 40_000
+	rep, err := Evaluate(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vpr.p's test input fits the L2 (paper Fig. 7): nothing selected.
+	if len(rep.Selection.PThreads) != 0 {
+		t.Errorf("test-input selection found %d p-threads, want 0", len(rep.Selection.PThreads))
+	}
+	if rep.BaseMisses == 0 {
+		t.Error("coverage denominator must come from the measured machine")
+	}
+}
+
+func TestRunModeOverhead(t *testing.T) {
+	w, _ := workload.ByName("vpr.r")
+	p := w.Build(1)
+	cfg := DefaultConfig()
+	cfg.WarmInsts = 20_000
+	cfg.MeasureInsts = 60_000
+	rep, err := Evaluate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Selection.PThreads) == 0 {
+		t.Skip("nothing selected")
+	}
+	seq, err := RunMode(p, rep.Selection.PThreads, cfg, timing.ModeOverheadSequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MissesCovered != 0 {
+		t.Error("sequence mode must not cover misses")
+	}
+	if seq.IPC > rep.Base.IPC*1.02 {
+		t.Errorf("overhead-only IPC %.3f should not exceed base %.3f", seq.IPC, rep.Base.IPC)
+	}
+}
+
+func TestRegionGranularity(t *testing.T) {
+	w, _ := workload.ByName("vpr.p")
+	p := w.Build(1)
+	cfg := DefaultConfig()
+	cfg.WarmInsts = 20_000
+	cfg.MeasureInsts = 80_000
+	cfg.RegionInsts = 20_000
+	rep, err := Evaluate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Selection.PThreads) == 0 {
+		t.Fatal("regioned selection chose nothing")
+	}
+	gated := 0
+	for _, pt := range rep.Selection.PThreads {
+		if pt.RegionEnd != 0 {
+			gated++
+		}
+	}
+	if gated == 0 {
+		t.Error("expected region-gated p-threads")
+	}
+	if rep.Pre.Launches == 0 {
+		t.Error("regioned p-threads never launched")
+	}
+}

@@ -1,0 +1,326 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"preexec/internal/isa"
+	"preexec/internal/mem"
+	"preexec/internal/program"
+)
+
+func build(t *testing.T, f func(b *program.Builder)) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("test")
+	f(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		name string
+		op   isa.Op
+		s1   int64
+		s2   int64
+		want int64
+	}{
+		{"add", isa.ADD, 2, 3, 5},
+		{"sub", isa.SUB, 2, 3, -1},
+		{"mul", isa.MUL, -4, 3, -12},
+		{"div", isa.DIV, 7, 2, 3},
+		{"div0", isa.DIV, 7, 0, 0},
+		{"and", isa.AND, 0b1100, 0b1010, 0b1000},
+		{"or", isa.OR, 0b1100, 0b1010, 0b1110},
+		{"xor", isa.XOR, 0b1100, 0b1010, 0b0110},
+		{"sll", isa.SLL, 1, 4, 16},
+		{"srl", isa.SRL, -1, 60, 15},
+		{"sra", isa.SRA, -16, 2, -4},
+		{"slt_t", isa.SLT, -1, 0, 1},
+		{"slt_f", isa.SLT, 0, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := EvalALU(isa.Inst{Op: c.op}, c.s1, c.s2)
+			if got != c.want {
+				t.Errorf("EvalALU(%v,%d,%d) = %d, want %d", c.op, c.s1, c.s2, got, c.want)
+			}
+		})
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		s1   int64
+		imm  int64
+		want int64
+	}{
+		{isa.ADDI, 5, -2, 3},
+		{isa.ANDI, 0b111, 0b101, 0b101},
+		{isa.ORI, 0b100, 0b001, 0b101},
+		{isa.XORI, 0b110, 0b011, 0b101},
+		{isa.SLLI, 3, 2, 12},
+		{isa.SRLI, 16, 2, 4},
+		{isa.SRAI, -16, 2, -4},
+		{isa.SLTI, 1, 2, 1},
+		{isa.SLTI, 2, 2, 0},
+	}
+	for _, c := range cases {
+		got := EvalALU(isa.Inst{Op: c.op, Imm: c.imm}, c.s1, 0)
+		if got != c.want {
+			t.Errorf("EvalALU(%v,%d,imm=%d) = %d, want %d", c.op, c.s1, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op     isa.Op
+		s1, s2 int64
+		want   bool
+	}{
+		{isa.BEQ, 1, 1, true}, {isa.BEQ, 1, 2, false},
+		{isa.BNE, 1, 2, true}, {isa.BNE, 1, 1, false},
+		{isa.BLT, -1, 0, true}, {isa.BLT, 0, 0, false},
+		{isa.BGE, 0, 0, true}, {isa.BGE, -1, 0, false},
+		{isa.ADD, 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.s1, c.s2); got != c.want {
+			t.Errorf("BranchTaken(%v,%d,%d) = %v, want %v", c.op, c.s1, c.s2, got, c.want)
+		}
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.Li(0, 99).Addi(1, 0, 7).Halt()
+	})
+	s := New(p)
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Regs[0] != 0 {
+		t.Errorf("R0 = %d, want 0", s.Regs[0])
+	}
+	if s.Regs[1] != 7 {
+		t.Errorf("R1 = %d, want 7 (ADDI off R0)", s.Regs[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		base := b.Alloc(2)
+		b.SetWord(base, 41)
+		b.Li(1, base).
+			Ld(2, 1, 0).   // r2 = 41
+			Addi(2, 2, 1). // r2 = 42
+			St(2, 1, 8).   // mem[base+8] = 42
+			Ld(3, 1, 8).   // r3 = 42
+			Halt()
+	})
+	s := New(p)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Regs[3] != 42 {
+		t.Errorf("R3 = %d, want 42", s.Regs[3])
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	// Sum 1..10 with a loop.
+	p := build(t, func(b *program.Builder) {
+		b.Li(1, 0). // i
+				Li(2, 0).  // sum
+				Li(3, 10). // n
+				Label("loop").
+				Bge(1, 3, "done").
+				Addi(1, 1, 1).
+				Add(2, 2, 1).
+				J("loop").
+				Label("done").
+				Halt()
+	})
+	s := New(p)
+	if _, err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted {
+		t.Fatal("program did not halt")
+	}
+	if s.Regs[2] != 55 {
+		t.Errorf("sum = %d, want 55", s.Regs[2])
+	}
+}
+
+func TestJalJr(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.Jal(isa.RA, "fn"). // 0
+					Halt(). // 1
+					Label("fn").
+					Li(5, 77). // 2
+					Jr(isa.RA) // 3
+	})
+	s := New(p)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted || s.Regs[5] != 77 {
+		t.Errorf("halted=%v r5=%d, want true,77", s.Halted, s.Regs[5])
+	}
+	if s.Regs[isa.RA] != 1 {
+		t.Errorf("RA = %d, want 1", s.Regs[isa.RA])
+	}
+}
+
+func TestExecRecordFields(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		base := b.Alloc(1)
+		b.SetWord(base, 5)
+		b.Li(1, base). // 0
+				Ld(2, 1, 0).    // 1
+				Beq(2, 0, "x"). // 2: not taken
+				Label("x").
+				Halt()
+	})
+	s := New(p)
+	e0, _ := s.Step()
+	if e0.Seq != 0 || e0.PC != 0 || e0.NextPC != 1 {
+		t.Errorf("exec 0 = %+v", e0)
+	}
+	e1, _ := s.Step()
+	if e1.EffAddr == 0 || e1.RdVal != 5 {
+		t.Errorf("load exec = %+v", e1)
+	}
+	e2, _ := s.Step()
+	if e2.Taken || e2.NextPC != 3 {
+		t.Errorf("branch exec = %+v, want not-taken fallthrough", e2)
+	}
+}
+
+func TestStepAfterHaltErrors(t *testing.T) {
+	p := build(t, func(b *program.Builder) { b.Halt() })
+	s := New(p)
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err == nil {
+		t.Fatal("expected error stepping a halted machine")
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	p := build(t, func(b *program.Builder) { b.Nop() })
+	s := New(p)
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err == nil {
+		t.Fatal("expected PC-out-of-range error")
+	}
+}
+
+func TestMemoryIsolation(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		base := b.Alloc(1)
+		b.Li(1, base).Li(2, 9).St(2, 1, 0).Halt()
+	})
+	s := New(p)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// The program's pristine data image must be untouched.
+	addr := int64(0x10000)
+	if p.Data.Read(addr) != 0 {
+		t.Error("machine writes leaked into program data image")
+	}
+}
+
+func TestExecBodySimple(t *testing.T) {
+	m := mem.New()
+	m.Write(0x100, 11)
+	regs := make([]int64, isa.PtRegs)
+	regs[1] = 0x100
+	body := []isa.Inst{
+		{Op: isa.LD, Rd: 2, Rs1: 1},           // r2 = 11
+		{Op: isa.ADDI, Rd: 3, Rs1: 2, Imm: 1}, // r3 = 12
+	}
+	res := ExecBody(body, regs, m)
+	if regs[3] != 12 {
+		t.Errorf("r3 = %d, want 12", regs[3])
+	}
+	if res.EffAddrs[0] != 0x100 {
+		t.Errorf("effaddr = %#x, want 0x100", res.EffAddrs[0])
+	}
+}
+
+func TestExecBodyStoreForwarding(t *testing.T) {
+	m := mem.New()
+	m.Write(0x200, 5)
+	regs := make([]int64, isa.PtRegs)
+	regs[1] = 0x200
+	body := []isa.Inst{
+		{Op: isa.LI, Rd: 2, Imm: 99},
+		{Op: isa.ST, Rs1: 1, Rs2: 2}, // private store 99 -> 0x200
+		{Op: isa.LD, Rd: 3, Rs1: 1},  // must see 99, from store buffer
+	}
+	res := ExecBody(body, regs, m)
+	if regs[3] != 99 {
+		t.Errorf("forwarded load = %d, want 99", regs[3])
+	}
+	if !res.FromStoreBuf[2] {
+		t.Error("load should be marked as store-buffer hit")
+	}
+	if m.Read(0x200) != 5 {
+		t.Error("p-thread store leaked into memory")
+	}
+}
+
+func TestExecBodyControlIsNop(t *testing.T) {
+	regs := make([]int64, isa.PtRegs)
+	regs[1] = 3
+	body := []isa.Inst{
+		{Op: isa.BEQ, Rs1: 1, Rs2: 1, Target: 0}, // would loop forever if honored
+		{Op: isa.ADDI, Rd: 2, Rs1: 1, Imm: 1},
+	}
+	ExecBody(body, regs, mem.New())
+	if regs[2] != 4 {
+		t.Errorf("r2 = %d, want 4 (branch treated as NOP)", regs[2])
+	}
+}
+
+func TestExecBodyExtendedRegisters(t *testing.T) {
+	// Merged p-threads may use registers >= 32.
+	regs := make([]int64, isa.PtRegs)
+	regs[40] = 6
+	body := []isa.Inst{{Op: isa.ADDI, Rd: 41, Rs1: 40, Imm: 1}}
+	ExecBody(body, regs, mem.New())
+	if regs[41] != 7 {
+		t.Errorf("extended reg r41 = %d, want 7", regs[41])
+	}
+}
+
+func TestQuickALUMatchesInterpreter(t *testing.T) {
+	// For any ADD executed through Step, the result equals EvalALU.
+	f := func(a, b int64) bool {
+		p := program.NewBuilder("q")
+		p.Li(1, a).Li(2, b).Add(3, 1, 2).Halt()
+		prog, err := p.Build()
+		if err != nil {
+			return false
+		}
+		s := New(prog)
+		if _, err := s.Run(10); err != nil {
+			return false
+		}
+		return s.Regs[3] == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+func TestAblationMcf(t *testing.T) {
+	rows, err := Ablation(fast("mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]FigRow{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	// With the L2-latency load model, mcf's dependent chains are correctly
+	// scored unhoistable: nothing selected.
+	if byCfg["full"].PThreads != 0 {
+		t.Errorf("full config selected %d p-threads for mcf, want 0", byCfg["full"].PThreads)
+	}
+	// With unit load latency the model over-selects (the paper's serial-
+	// miss blindness): p-threads appear.
+	if byCfg["unit-loadlat"].PThreads == 0 {
+		t.Error("unit-loadlat ablation should over-select for mcf")
+	}
+	// And without the RS throttle, those deep dependent-load bodies hurt
+	// more than with it.
+	if byCfg["neither"].SpeedupPct > byCfg["unit-loadlat"].SpeedupPct+3 {
+		t.Errorf("removing the throttle should not help: neither %.1f%% vs unit-loadlat %.1f%%",
+			byCfg["neither"].SpeedupPct, byCfg["unit-loadlat"].SpeedupPct)
+	}
+}
+
+func TestAblationLeavesGoodCasesAlone(t *testing.T) {
+	rows, err := Ablation(fast("vpr.p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]FigRow{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	// vpr.p's slices contain no loads, so the load-latency model change is
+	// a no-op there and the throttle rarely engages.
+	if byCfg["full"].SpeedupPct <= 0 || byCfg["unit-loadlat"].SpeedupPct <= 0 {
+		t.Errorf("vpr.p should speed up under both models: %+v", byCfg)
+	}
+	d := byCfg["full"].CoveragePct - byCfg["unit-loadlat"].CoveragePct
+	if d < -10 || d > 10 {
+		t.Errorf("load-latency model should not change vpr.p coverage much: %.1f vs %.1f",
+			byCfg["full"].CoveragePct, byCfg["unit-loadlat"].CoveragePct)
+	}
+}

@@ -1,0 +1,244 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the synthetic benchmark suite: Table 1 (benchmark
+// characterization), Table 2 (primary results and model validation), and
+// Figures 4-8 (slicing scope & p-thread length, optimization & merging,
+// selection granularity, selection input data-set, memory-latency
+// cross-validation), plus the processor-width cross-validation the paper
+// describes in prose (§4.5).
+//
+// Absolute numbers are not expected to match the paper — the substrate is a
+// from-scratch simulator running synthetic kernels — but the qualitative
+// shape (who wins, where effects saturate, how cross-validation orders) is;
+// EXPERIMENTS.md records both sides for every experiment.
+package experiments
+
+import (
+	"fmt"
+
+	"preexec/internal/core"
+	"preexec/internal/stats"
+	"preexec/internal/timing"
+	"preexec/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies workload iteration counts (default 1).
+	Scale int
+	// Warm and Measure size the simulation windows (defaults 30k/120k).
+	Warm, Measure int64
+	// Benchmarks restricts the suite (default: all ten).
+	Benchmarks []string
+}
+
+func (o Options) fill() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Warm <= 0 {
+		o.Warm = 30_000
+	}
+	if o.Measure <= 0 {
+		o.Measure = 120_000
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workload.Names()
+	}
+	return o
+}
+
+func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.WarmInsts = o.Warm
+	cfg.MeasureInsts = o.Measure
+	return cfg
+}
+
+func (o Options) workloads() ([]workload.Workload, error) {
+	out := make([]workload.Workload, 0, len(o.Benchmarks))
+	for _, name := range o.Benchmarks {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// FigRow is one bar of a paper figure: the five diagnostics every graph
+// reports (miss coverage, full coverage, instruction overhead, mean dynamic
+// p-thread length, percent speedup), tagged with benchmark and configuration.
+type FigRow struct {
+	Bench  string
+	Config string
+
+	CoveragePct float64
+	FullPct     float64
+	OverheadPct float64 // p-thread instructions per 100 retired
+	AvgPtLen    float64
+	SpeedupPct  float64
+	PThreads    int
+}
+
+func figRow(bench, config string, rep core.Report) FigRow {
+	return FigRow{
+		Bench:       bench,
+		Config:      config,
+		CoveragePct: rep.CoveragePct(),
+		FullPct:     rep.FullCoveragePct(),
+		OverheadPct: rep.Pre.OverheadFrac() * 100,
+		AvgPtLen:    rep.Pre.AvgPtLen,
+		SpeedupPct:  rep.SpeedupPct(),
+		PThreads:    len(rep.Selection.PThreads),
+	}
+}
+
+// FormatFigRows renders figure rows as an aligned table.
+func FormatFigRows(rows []FigRow) string {
+	t := stats.NewTable("bench", "config", "cover%", "full%", "ovhd%", "ptlen", "speedup%", "pthreads")
+	for _, r := range rows {
+		t.Row(r.Bench, r.Config, r.CoveragePct, r.FullPct, r.OverheadPct, r.AvgPtLen, r.SpeedupPct, r.PThreads)
+	}
+	return t.String()
+}
+
+// Table1Row characterizes one benchmark (paper Table 1).
+type Table1Row struct {
+	Bench      string
+	Insts      int64
+	Loads      int64
+	L2Misses   int64
+	IPC        float64
+	PerfectIPC float64 // IPC with a (near-)perfect L2
+}
+
+// Table1 regenerates the benchmark characterization.
+func Table1(opts Options) ([]Table1Row, error) {
+	opts = opts.fill()
+	ws, err := opts.workloads()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, w := range ws {
+		p := w.Build(opts.Scale)
+		cfg := timing.DefaultConfig()
+		cfg.WarmInsts = opts.Warm
+		cfg.MaxInsts = opts.Measure
+		base, err := timing.Run(p, nil, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", w.Name, err)
+		}
+		perfectCfg := cfg
+		perfectCfg.MemLat = 1 // an L2 miss costs (almost) nothing
+		perfect, err := timing.Run(p, nil, perfectCfg)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s (perfect): %w", w.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			Bench:      w.Name,
+			Insts:      base.Retired,
+			Loads:      base.Loads,
+			L2Misses:   base.L2Misses,
+			IPC:        base.IPC,
+			PerfectIPC: perfect.IPC,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	t := stats.NewTable("bench", "insts", "loads", "L2 misses", "IPC", "perfect-L2 IPC")
+	for _, r := range rows {
+		t.Row(r.Bench, r.Insts, r.Loads, r.L2Misses, r.IPC, r.PerfectIPC)
+	}
+	return t.String()
+}
+
+// Table2Row is the paper's primary-results-and-validation row: the measured
+// pre-execution block and the framework's predictions of the same
+// quantities (§4.2-4.3).
+type Table2Row struct {
+	Bench   string
+	BaseIPC float64
+
+	// Measured (Pre-exec block).
+	PreIPC      float64
+	Launches    int64
+	InstsPerPt  float64
+	Covered     int64
+	FullCovered int64
+	// Validation IPCs.
+	OverheadExecIPC float64 // p-threads execute, no cache access
+	OverheadSeqIPC  float64 // p-threads consume sequencing only
+	LatencyIPC      float64 // p-threads free of sequencing cost
+
+	// Predicted (Predict block).
+	PredIPC         float64
+	PredLaunches    int64
+	PredInstsPerPt  float64
+	PredCovered     int64
+	PredFullCovered int64
+}
+
+// Table2 regenerates the primary performance and validation results.
+func Table2(opts Options) ([]Table2Row, error) {
+	opts = opts.fill()
+	ws, err := opts.workloads()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, w := range ws {
+		p := w.Build(opts.Scale)
+		cfg := opts.coreConfig()
+		rep, err := core.Evaluate(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", w.Name, err)
+		}
+		row := Table2Row{
+			Bench:           w.Name,
+			BaseIPC:         rep.Base.IPC,
+			PreIPC:          rep.Pre.IPC,
+			Launches:        rep.Pre.Launches,
+			InstsPerPt:      rep.Pre.AvgPtLen,
+			Covered:         rep.Pre.MissesCovered,
+			FullCovered:     rep.Pre.MissesFullCovered,
+			PredIPC:         rep.PredIPC,
+			PredLaunches:    rep.Selection.Pred.Launches,
+			PredInstsPerPt:  rep.Selection.Pred.InstsPerPThread,
+			PredCovered:     rep.Selection.Pred.MissesCovered,
+			PredFullCovered: rep.Selection.Pred.MissesFullCov,
+		}
+		for _, m := range []struct {
+			mode timing.Mode
+			dst  *float64
+		}{
+			{timing.ModeOverheadExecute, &row.OverheadExecIPC},
+			{timing.ModeOverheadSequence, &row.OverheadSeqIPC},
+			{timing.ModeLatencyOnly, &row.LatencyIPC},
+		} {
+			st, err := core.RunMode(p, rep.Selection.PThreads, cfg, m.mode)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s (%v): %w", w.Name, m.mode, err)
+			}
+			*m.dst = st.IPC
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	t := stats.NewTable("bench", "base", "pre", "launch", "len", "cover", "full",
+		"ovh-x", "ovh-s", "lat", "| pred", "launch", "len", "cover", "full")
+	for _, r := range rows {
+		t.Row(r.Bench, r.BaseIPC, r.PreIPC, r.Launches, r.InstsPerPt, r.Covered, r.FullCovered,
+			r.OverheadExecIPC, r.OverheadSeqIPC, r.LatencyIPC,
+			r.PredIPC, r.PredLaunches, r.PredInstsPerPt, r.PredCovered, r.PredFullCovered)
+	}
+	return t.String()
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fast returns options sized for unit testing: two contrasting benchmarks
+// and small windows. The full suite runs through cmd/texp and the benches.
+func fast(benchmarks ...string) Options {
+	if len(benchmarks) == 0 {
+		benchmarks = []string{"vpr.p", "crafty"}
+	}
+	return Options{Warm: 20_000, Measure: 60_000, Benchmarks: benchmarks}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(fast("vpr.p", "crafty", "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+		if r.Insts == 0 || r.Loads == 0 || r.IPC <= 0 {
+			t.Errorf("%s: empty characterization %+v", r.Bench, r)
+		}
+		if r.PerfectIPC < r.IPC {
+			t.Errorf("%s: perfect-L2 IPC %.2f below base %.2f", r.Bench, r.PerfectIPC, r.IPC)
+		}
+	}
+	// The paper's Table 1 orderings: mcf has the most misses and the lowest
+	// IPC; crafty is nearly miss-free with a high IPC.
+	if byName["mcf"].L2Misses <= byName["crafty"].L2Misses {
+		t.Error("mcf should miss far more than crafty")
+	}
+	if byName["mcf"].IPC >= byName["crafty"].IPC {
+		t.Error("mcf should be slower than crafty")
+	}
+	// Perfect L2 gains track miss counts: mcf's gap should be the largest.
+	mcfGain := byName["mcf"].PerfectIPC / byName["mcf"].IPC
+	craftyGain := byName["crafty"].PerfectIPC / byName["crafty"].IPC
+	if mcfGain <= craftyGain {
+		t.Errorf("perfect-L2 gain: mcf %.2fx should exceed crafty %.2fx", mcfGain, craftyGain)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(fast("vpr.p", "crafty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+	}
+	vpr := byName["vpr.p"]
+	if vpr.PreIPC <= vpr.BaseIPC {
+		t.Errorf("vpr.p: pre %.2f should beat base %.2f", vpr.PreIPC, vpr.BaseIPC)
+	}
+	if vpr.Covered == 0 || vpr.Launches == 0 {
+		t.Error("vpr.p: expected coverage and launches")
+	}
+	// Validation invariants: overhead-only runs cannot beat base; the
+	// latency-only run cannot be slower than the normal pre-exec run
+	// (within noise).
+	if vpr.OverheadExecIPC > vpr.BaseIPC*1.03 || vpr.OverheadSeqIPC > vpr.BaseIPC*1.03 {
+		t.Errorf("overhead-only IPCs (%.2f/%.2f) should not beat base %.2f",
+			vpr.OverheadExecIPC, vpr.OverheadSeqIPC, vpr.BaseIPC)
+	}
+	if vpr.LatencyIPC < vpr.PreIPC*0.95 {
+		t.Errorf("latency-only %.2f should be >= pre %.2f", vpr.LatencyIPC, vpr.PreIPC)
+	}
+	// Launch-count prediction correlates (no wrong path in our simulator).
+	if vpr.PredLaunches == 0 {
+		t.Error("missing launch prediction")
+	}
+	ratio := float64(vpr.Launches) / float64(vpr.PredLaunches)
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Errorf("launch prediction off: measured %d predicted %d", vpr.Launches, vpr.PredLaunches)
+	}
+	// crafty must stay (close to) untouched.
+	crafty := byName["crafty"]
+	if crafty.Launches > crafty.Covered+1000 && crafty.PreIPC < crafty.BaseIPC*0.9 {
+		t.Errorf("crafty harmed: %+v", crafty)
+	}
+}
+
+func TestFigure4Saturation(t *testing.T) {
+	rows, err := Figure4(fast("vpr.p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Relaxing constraints must not reduce coverage (monotone up to noise),
+	// and the two most relaxed configurations should be similar (saturation).
+	if rows[0].CoveragePct > rows[2].CoveragePct+5 {
+		t.Errorf("coverage should grow with relaxed constraints: %v", rows)
+	}
+	d := rows[3].CoveragePct - rows[2].CoveragePct
+	if d < -10 || d > 25 {
+		t.Errorf("coverage should saturate between 1024/32 and 2048/64: %.1f vs %.1f",
+			rows[2].CoveragePct, rows[3].CoveragePct)
+	}
+}
+
+func TestFigure5OptimizationHelpsVortex(t *testing.T) {
+	rows, err := Figure5(fast("vortex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]FigRow{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	// vortex's slices contain store-load pairs; optimization must shorten
+	// p-threads (or unlock candidates) relative to no optimization.
+	if byCfg["opt"].PThreads < byCfg["none"].PThreads {
+		t.Errorf("optimization should not lose candidates: %+v vs %+v", byCfg["opt"], byCfg["none"])
+	}
+	if byCfg["opt"].CoveragePct < byCfg["none"].CoveragePct-5 {
+		t.Errorf("optimization should not lose coverage: %+v vs %+v", byCfg["opt"], byCfg["none"])
+	}
+}
+
+func TestFigure6RunsAllGranularities(t *testing.T) {
+	rows, err := Figure6(fast("vpr.p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Config != "full" && r.PThreads == 0 {
+			t.Errorf("granularity %s selected nothing", r.Config)
+		}
+	}
+}
+
+func TestFigure7StaticScenario(t *testing.T) {
+	rows, err := Figure7(fast("vpr.p", "bzip2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]FigRow{}
+	for _, r := range rows {
+		byKey[r.Bench+"/"+r.Config] = r
+	}
+	// vpr.p's test input fits the L2: the static scenario selects nothing
+	// (paper Figure 7's signature result).
+	if got := byKey["vpr.p/static"]; got.PThreads != 0 {
+		t.Errorf("vpr.p static scenario selected %d p-threads, want 0", got.PThreads)
+	}
+	// The dynamic scenario should approach perfect information.
+	perfect, dynamic := byKey["vpr.p/perfect"], byKey["vpr.p/dynamic"]
+	if dynamic.CoveragePct < perfect.CoveragePct*0.6 {
+		t.Errorf("dynamic coverage %.1f%% too far below perfect %.1f%%",
+			dynamic.CoveragePct, perfect.CoveragePct)
+	}
+	// bzip2's static scenario still works (its test input misses).
+	if got := byKey["bzip2/static"]; got.PThreads == 0 {
+		t.Error("bzip2 static scenario should still find p-threads")
+	}
+}
+
+func TestFigure8CrossValidation(t *testing.T) {
+	rows, err := Figure8(fast("vpr.r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]FigRow{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	if len(byCfg) != 4 {
+		t.Fatalf("configs = %v, want 4", byCfg)
+	}
+	// All four configurations must cover misses and improve vpr.r.
+	for cfg, r := range byCfg {
+		if r.CoveragePct <= 0 {
+			t.Errorf("%s: no coverage", cfg)
+		}
+		if r.SpeedupPct <= 0 {
+			t.Errorf("%s: no speedup (%.1f%%)", cfg, r.SpeedupPct)
+		}
+	}
+	// Self-validation on the 70-cycle machine should not lose meaningfully
+	// to over-specification (the paper's expected case: extra lookahead
+	// buys nothing when there is no extra latency, while covering fewer
+	// misses). The reverse comparison — under-specification on the slow
+	// machine — is deliberately NOT asserted: the paper itself reports
+	// benchmarks where t70 beats t140 on the 140-cycle machine via
+	// naturally-overlapped misses and bus contention (§4.5).
+	if byCfg["p70(t70)"].SpeedupPct < byCfg["p70(t140)"].SpeedupPct-5 {
+		t.Errorf("p70(t70) %.1f%% should be >= p70(t140) %.1f%%",
+			byCfg["p70(t70)"].SpeedupPct, byCfg["p70(t140)"].SpeedupPct)
+	}
+}
+
+func TestWidthCrossValidation(t *testing.T) {
+	rows, err := Width(fast("vpr.p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Config == "p8(t8)" && r.SpeedupPct <= 0 {
+			t.Errorf("8-wide self-validation should still speed up vpr.p: %+v", r)
+		}
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	t1, err := Table1(fast("crafty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatTable1(t1); !strings.Contains(s, "crafty") {
+		t.Error("FormatTable1 missing benchmark")
+	}
+	rows := []FigRow{{Bench: "x", Config: "c", CoveragePct: 50}}
+	if s := FormatFigRows(rows); !strings.Contains(s, "50.00") {
+		t.Error("FormatFigRows missing value")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Table1(Options{Benchmarks: []string{"nope"}}); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"preexec/internal/core"
+	"preexec/internal/program"
+)
+
+// evalConfigs runs one core evaluation per (benchmark, named config) and
+// collects figure rows. mutate customizes the base config for each named
+// variant; prog selects the program (defaults to the train input).
+func (o Options) evalConfigs(
+	names []string,
+	mutate func(cfg *core.Config, name string, train, test *program.Program),
+) ([]FigRow, error) {
+	o = o.fill()
+	ws, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	var rows []FigRow
+	for _, w := range ws {
+		train := w.Build(o.Scale)
+		test := w.BuildTest(o.Scale)
+		for _, name := range names {
+			cfg := o.coreConfig()
+			mutate(&cfg, name, train, test)
+			rep, err := core.Evaluate(train, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, name, err)
+			}
+			rows = append(rows, figRow(w.Name, name, rep))
+		}
+	}
+	return rows, nil
+}
+
+// Figure4 measures the combined impact of slicing scope and maximum
+// p-thread length (paper Figure 4): four scope/length combinations from
+// tightly constrained to fully relaxed. The paper's trends: all five
+// diagnostics grow as constraints relax, then saturate.
+func Figure4(opts Options) ([]FigRow, error) {
+	combos := []struct {
+		name   string
+		scope  int
+		maxLen int
+	}{
+		{"256/8", 256, 8},
+		{"512/16", 512, 16},
+		{"1024/32", 1024, 32},
+		{"2048/64", 2048, 64},
+	}
+	names := make([]string, len(combos))
+	for i, c := range combos {
+		names[i] = c.name
+	}
+	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+		for _, c := range combos {
+			if c.name == name {
+				cfg.Scope, cfg.MaxLen = c.scope, c.maxLen
+			}
+		}
+	})
+}
+
+// Figure5 measures the impact of p-thread optimization and merging (paper
+// Figure 5): neither, merging only, optimization only, and both. The
+// paper's trends: optimization shortens p-threads and unlocks previously
+// unprofitable candidates (more launches, more coverage); merging reduces
+// launch counts and overhead.
+func Figure5(opts Options) ([]FigRow, error) {
+	names := []string{"none", "merge", "opt", "opt+merge"}
+	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+		cfg.Optimize = name == "opt" || name == "opt+merge"
+		cfg.Merge = name == "merge" || name == "opt+merge"
+	})
+}
+
+// Figure6 measures p-thread selection granularity (paper Figure 6): the
+// whole sample versus per-region selection at successively finer regions.
+// The paper's regions are 100M/10M/1M instructions of a ~100M sample; ours
+// scale to the measured window (full, 1/3, 1/6, 1/12).
+func Figure6(opts Options) ([]FigRow, error) {
+	opts = opts.fill()
+	names := []string{"full", "coarse", "medium", "fine"}
+	frac := map[string]int64{"coarse": 3, "medium": 6, "fine": 12}
+	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+		if f, ok := frac[name]; ok {
+			cfg.RegionInsts = cfg.MeasureInsts / f
+		}
+	})
+}
+
+// Figure7 measures the selection input data-set (paper Figure 7): perfect
+// information (select on the measured run itself), the dynamic scenario
+// (select on a short profiling phase of the same input, modeling an on-line
+// JIT), and the static scenario (select on the test input, modeling a
+// profile-driven static compiler). The paper's trends: dynamic ~= perfect;
+// static works except where the test working set fits the L2 (twolf,
+// vpr.p), which select no p-threads at all.
+func Figure7(opts Options) ([]FigRow, error) {
+	opts = opts.fill()
+	names := []string{"perfect", "dynamic", "static"}
+	return opts.evalConfigs(names, func(cfg *core.Config, name string, train, test *program.Program) {
+		switch name {
+		case "dynamic":
+			cfg.SelectInsts = cfg.MeasureInsts / 5
+		case "static":
+			cfg.SelectOn = test
+			cfg.SelectInsts = cfg.MeasureInsts / 2
+		}
+	})
+}
+
+// Figure8 is the memory-latency cross-validation (paper Figure 8): p-thread
+// sets are selected assuming 70- or 140-cycle memory (t70, t140) and each
+// set is simulated under both latencies. Config names read pSIM(tSEL). The
+// paper's trends: self-validation beats cross-validation; higher assumed
+// latency yields longer p-threads that fully cover more misses.
+func Figure8(opts Options) ([]FigRow, error) {
+	names := []string{"p140(t70)", "p140(t140)", "p70(t70)", "p70(t140)"}
+	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+		switch name {
+		case "p140(t70)":
+			cfg.MemLat, cfg.SelectMemLat = 140, 70
+		case "p140(t140)":
+			cfg.MemLat, cfg.SelectMemLat = 140, 140
+		case "p70(t70)":
+			cfg.MemLat, cfg.SelectMemLat = 70, 70
+		case "p70(t140)":
+			cfg.MemLat, cfg.SelectMemLat = 70, 140
+		}
+	})
+}
+
+// Width is the processor-width cross-validation the paper reports in prose
+// (§4.5): p-threads selected for a 4-wide or 8-wide machine, each simulated
+// on both. Config names read pSIM(tSEL).
+func Width(opts Options) ([]FigRow, error) {
+	names := []string{"p4(t4)", "p4(t8)", "p8(t8)", "p8(t4)"}
+	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+		switch name {
+		case "p4(t4)":
+			cfg.Width, cfg.SelectWidth = 4, 4
+		case "p4(t8)":
+			cfg.Width, cfg.SelectWidth = 4, 8
+		case "p8(t8)":
+			cfg.Width, cfg.SelectWidth = 8, 8
+		case "p8(t4)":
+			cfg.Width, cfg.SelectWidth = 8, 4
+		}
+	})
+}

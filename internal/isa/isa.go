@@ -1,0 +1,252 @@
+// Package isa defines PRX, a small 64-bit load/store RISC instruction set
+// used by the whole reproduction as the substrate ISA (standing in for the
+// Alpha AXP ISA used by the paper's SimpleScalar toolchain).
+//
+// PRX has 32 architectural registers (R0 hardwired to zero), word-granular
+// (8-byte) loads and stores, the usual two-source ALU operations, immediate
+// forms, conditional branches, and unconditional jumps. Program counters are
+// instruction indices, not byte addresses; this keeps the tooling (slicing,
+// slice trees, p-thread bodies) simple without losing anything the selection
+// framework cares about.
+//
+// P-thread bodies reuse isa.Inst but may name registers up to PtRegs-1; the
+// extra registers (32..PtRegs-1) are temporaries introduced by p-thread
+// merging, which must rename duplicated computations (paper §3.3).
+package isa
+
+import "fmt"
+
+// Reg is an architectural register number.
+type Reg uint8
+
+// Register file sizes.
+const (
+	// NumRegs is the number of architectural registers visible to programs.
+	NumRegs = 32
+	// PtRegs is the size of a p-thread context register file. The extra
+	// registers are assembler temporaries for merged p-threads.
+	PtRegs = 64
+	// Zero is the hardwired zero register.
+	Zero Reg = 0
+	// RA is the conventional return-address register.
+	RA Reg = 31
+)
+
+// Op is a PRX opcode.
+type Op uint8
+
+// Opcodes. The set is intentionally minimal: everything the synthetic
+// workloads and the p-thread optimizer need, nothing more.
+const (
+	NOP Op = iota
+
+	// Three-register ALU.
+	ADD
+	SUB
+	MUL
+	DIV // integer divide; divide-by-zero yields 0 (workloads avoid it)
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT // set-less-than (signed)
+
+	// Register-immediate ALU.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+
+	// MOV copies Rs1 into Rd. It is its own opcode (rather than ADDI 0) so
+	// the p-thread optimizer's register-move elimination is observable.
+	MOV
+	// LI loads a 64-bit immediate into Rd.
+	LI
+
+	// Memory: 8-byte word load and store. Effective address = Rs1 + Imm.
+	LD
+	ST
+
+	// Conditional branches compare Rs1 and Rs2 and jump to Target.
+	BEQ
+	BNE
+	BLT
+	BGE
+
+	// Unconditional control.
+	J   // jump to Target
+	JAL // jump and link: Rd <- PC+1, jump to Target
+	JR  // jump to register: PC <- Rs1
+
+	// HALT stops the program.
+	HALT
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", DIV: "div",
+	AND: "and", OR: "or", XOR: "xor", SLL: "sll", SRL: "srl", SRA: "sra",
+	SLT: "slt", ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti",
+	MOV: "mov", LI: "li", LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	J: "j", JAL: "jal", JR: "jr", HALT: "halt",
+}
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Class is a coarse functional classification of an opcode, used by the
+// timing model (latencies, resource binding) and the selection framework
+// (dataflow-height latencies).
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional jumps
+	ClassHalt
+)
+
+// ClassOf returns the class of op.
+func ClassOf(op Op) Class {
+	switch op {
+	case NOP:
+		return ClassNop
+	case MUL, DIV:
+		return ClassMul
+	case LD:
+		return ClassLoad
+	case ST:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE:
+		return ClassBranch
+	case J, JAL, JR:
+		return ClassJump
+	case HALT:
+		return ClassHalt
+	default:
+		return ClassALU
+	}
+}
+
+// Inst is a single PRX instruction. Branch and jump targets are resolved
+// instruction indices (see package program for the label-based builder).
+type Inst struct {
+	Op     Op
+	Rd     Reg   // destination register (ALU, LI, MOV, LD, JAL)
+	Rs1    Reg   // first source (also base register for LD/ST, target for JR)
+	Rs2    Reg   // second source (also store-data register for ST)
+	Imm    int64 // immediate / address displacement
+	Target int   // branch or jump target (instruction index)
+}
+
+// HasDest reports whether the instruction writes a destination register.
+func (in Inst) HasDest() bool {
+	switch ClassOf(in.Op) {
+	case ClassALU, ClassMul, ClassLoad:
+		return in.Rd != Zero
+	case ClassJump:
+		return in.Op == JAL && in.Rd != Zero
+	default:
+		return false
+	}
+}
+
+// Sources returns the source registers read by the instruction and how many
+// are meaningful (0, 1 or 2). R0 reads are reported like any other: callers
+// that care about dataflow can skip R0 themselves (its value is constant).
+func (in Inst) Sources() (srcs [2]Reg, n int) {
+	switch in.Op {
+	case NOP, LI, J, JAL, HALT:
+		return srcs, 0
+	case ADD, SUB, MUL, DIV, AND, OR, XOR, SLL, SRL, SRA, SLT:
+		srcs[0], srcs[1] = in.Rs1, in.Rs2
+		return srcs, 2
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, MOV, LD, JR:
+		srcs[0] = in.Rs1
+		return srcs, 1
+	case ST:
+		srcs[0], srcs[1] = in.Rs1, in.Rs2 // base, data
+		return srcs, 2
+	case BEQ, BNE, BLT, BGE:
+		srcs[0], srcs[1] = in.Rs1, in.Rs2
+		return srcs, 2
+	default:
+		return srcs, 0
+	}
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (in Inst) IsMem() bool { return in.Op == LD || in.Op == ST }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsBranch() bool { return ClassOf(in.Op) == ClassBranch }
+
+// IsControl reports whether the instruction can change the PC non-sequentially.
+func (in Inst) IsControl() bool {
+	c := ClassOf(in.Op)
+	return c == ClassBranch || c == ClassJump
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case ADD, SUB, MUL, DIV, AND, OR, XOR, SLL, SRL, SRA, SLT:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case MOV:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs1)
+	case LI:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case LD:
+		return fmt.Sprintf("ld r%d, %d(r%d)", in.Rd, in.Imm, in.Rs1)
+	case ST:
+		return fmt.Sprintf("st r%d, %d(r%d)", in.Rs2, in.Imm, in.Rs1)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s r%d, r%d, #%d", in.Op, in.Rs1, in.Rs2, in.Target)
+	case J:
+		return fmt.Sprintf("j #%d", in.Target)
+	case JAL:
+		return fmt.Sprintf("jal r%d, #%d", in.Rd, in.Target)
+	case JR:
+		return fmt.Sprintf("jr r%d", in.Rs1)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Latency returns the execution latency, in cycles, used by both the SCDH
+// model (with unit ALU latency) and the timing simulator's functional units.
+// Cache effects for loads are added by the memory system, not here: the value
+// returned for LD is address-generation only.
+func Latency(op Op) int {
+	switch ClassOf(op) {
+	case ClassMul:
+		return 3
+	case ClassLoad, ClassStore:
+		return 1 // address generation; memory latency is added separately
+	default:
+		return 1
+	}
+}

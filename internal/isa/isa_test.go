@@ -1,0 +1,162 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{ADD, "add"}, {SUB, "sub"}, {LD, "ld"}, {ST, "st"},
+		{BEQ, "beq"}, {HALT, "halt"}, {NOP, "nop"}, {LI, "li"},
+		{MOV, "mov"}, {J, "j"}, {JAL, "jal"}, {JR, "jr"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op(%d).String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q, want it to mention 200", got)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{NOP, ClassNop},
+		{ADD, ClassALU}, {ADDI, ClassALU}, {SLT, ClassALU}, {MOV, ClassALU},
+		{LI, ClassALU},
+		{MUL, ClassMul}, {DIV, ClassMul},
+		{LD, ClassLoad}, {ST, ClassStore},
+		{BEQ, ClassBranch}, {BNE, ClassBranch}, {BLT, ClassBranch}, {BGE, ClassBranch},
+		{J, ClassJump}, {JAL, ClassJump}, {JR, ClassJump},
+		{HALT, ClassHalt},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want bool
+	}{
+		{Inst{Op: ADD, Rd: 3}, true},
+		{Inst{Op: ADD, Rd: Zero}, false}, // writes to R0 are discarded
+		{Inst{Op: LD, Rd: 5}, true},
+		{Inst{Op: ST, Rs2: 5}, false},
+		{Inst{Op: BEQ}, false},
+		{Inst{Op: J}, false},
+		{Inst{Op: JAL, Rd: RA}, true},
+		{Inst{Op: JAL, Rd: Zero}, false},
+		{Inst{Op: HALT}, false},
+		{Inst{Op: LI, Rd: 7}, true},
+		{Inst{Op: MUL, Rd: 9}, true},
+	}
+	for _, c := range cases {
+		if got := c.in.HasDest(); got != c.want {
+			t.Errorf("%v HasDest = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	cases := []struct {
+		in    Inst
+		wantN int
+		want  [2]Reg
+	}{
+		{Inst{Op: ADD, Rs1: 1, Rs2: 2}, 2, [2]Reg{1, 2}},
+		{Inst{Op: ADDI, Rs1: 4}, 1, [2]Reg{4, 0}},
+		{Inst{Op: LD, Rs1: 6}, 1, [2]Reg{6, 0}},
+		{Inst{Op: ST, Rs1: 6, Rs2: 7}, 2, [2]Reg{6, 7}},
+		{Inst{Op: BEQ, Rs1: 8, Rs2: 9}, 2, [2]Reg{8, 9}},
+		{Inst{Op: LI}, 0, [2]Reg{}},
+		{Inst{Op: J}, 0, [2]Reg{}},
+		{Inst{Op: JR, Rs1: 31}, 1, [2]Reg{31, 0}},
+		{Inst{Op: NOP}, 0, [2]Reg{}},
+		{Inst{Op: HALT}, 0, [2]Reg{}},
+		{Inst{Op: MOV, Rs1: 12}, 1, [2]Reg{12, 0}},
+	}
+	for _, c := range cases {
+		srcs, n := c.in.Sources()
+		if n != c.wantN || srcs != c.want {
+			t.Errorf("%v Sources = %v,%d want %v,%d", c.in, srcs, n, c.want, c.wantN)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !(Inst{Op: LD}).IsMem() || !(Inst{Op: ST}).IsMem() {
+		t.Error("LD/ST should be memory instructions")
+	}
+	if (Inst{Op: ADD}).IsMem() {
+		t.Error("ADD should not be a memory instruction")
+	}
+	if !(Inst{Op: BNE}).IsBranch() {
+		t.Error("BNE should be a branch")
+	}
+	if (Inst{Op: J}).IsBranch() {
+		t.Error("J is a jump, not a conditional branch")
+	}
+	for _, op := range []Op{BEQ, BNE, BLT, BGE, J, JAL, JR} {
+		if !(Inst{Op: op}).IsControl() {
+			t.Errorf("%v should be control", op)
+		}
+	}
+	if (Inst{Op: ADD}).IsControl() {
+		t.Error("ADD should not be control")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -4}, "addi r1, r2, -4"},
+		{Inst{Op: LD, Rd: 8, Rs1: 7, Imm: 16}, "ld r8, 16(r7)"},
+		{Inst{Op: ST, Rs1: 7, Rs2: 8, Imm: 0}, "st r8, 0(r7)"},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2, Target: 11}, "beq r1, r2, #11"},
+		{Inst{Op: J, Target: 0}, "j #0"},
+		{Inst{Op: JAL, Rd: 31, Target: 5}, "jal r31, #5"},
+		{Inst{Op: JR, Rs1: 31}, "jr r31"},
+		{Inst{Op: LI, Rd: 4, Imm: 99}, "li r4, 99"},
+		{Inst{Op: MOV, Rd: 4, Rs1: 5}, "mov r4, r5"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: NOP}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if Latency(ADD) != 1 {
+		t.Errorf("ALU latency = %d, want 1", Latency(ADD))
+	}
+	if Latency(MUL) != 3 {
+		t.Errorf("MUL latency = %d, want 3", Latency(MUL))
+	}
+	if Latency(LD) != 1 {
+		t.Errorf("LD (agen) latency = %d, want 1", Latency(LD))
+	}
+	if Latency(BEQ) != 1 {
+		t.Errorf("branch latency = %d, want 1", Latency(BEQ))
+	}
+}

@@ -1,0 +1,84 @@
+// Package mem implements a sparse, paged, 64-bit word memory used by the
+// functional interpreter and by the timing simulator's architectural state.
+// Addresses are byte addresses; loads and stores operate on naturally
+// aligned 8-byte words (the only granularity the PRX ISA has).
+package mem
+
+const (
+	pageShift = 12 // 4KB pages
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / 8
+	pageMask  = pageBytes - 1
+)
+
+type page [pageWords]int64
+
+// Memory is a sparse 64-bit address space. The zero value is not usable; use
+// New. Reads of unmapped addresses return 0 without allocating.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// align rounds addr down to its containing word.
+func align(addr int64) uint64 { return uint64(addr) &^ 7 }
+
+// Read returns the 8-byte word containing addr (addr is aligned down).
+func (m *Memory) Read(addr int64) int64 {
+	a := align(addr)
+	p := m.pages[a>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[(a&pageMask)/8]
+}
+
+// Write stores val into the 8-byte word containing addr.
+func (m *Memory) Write(addr int64, val int64) {
+	a := align(addr)
+	key := a >> pageShift
+	p := m.pages[key]
+	if p == nil {
+		if val == 0 {
+			return // writing zero to an unmapped word is a no-op
+		}
+		p = new(page)
+		m.pages[key] = p
+	}
+	p[(a&pageMask)/8] = val
+}
+
+// WriteWords stores consecutive words starting at base.
+func (m *Memory) WriteWords(base int64, vals []int64) {
+	for i, v := range vals {
+		m.Write(base+int64(i)*8, v)
+	}
+}
+
+// ReadWords reads n consecutive words starting at base.
+func (m *Memory) ReadWords(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.Read(base + int64(i)*8)
+	}
+	return out
+}
+
+// Pages returns the number of mapped pages (for tests and footprint checks).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory. The timing simulator clones the
+// post-initialization image so p-thread speculative state can never corrupt
+// the main thread's architectural memory.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}

@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadUnmapped(t *testing.T) {
+	m := New()
+	if got := m.Read(0x1234560); got != 0 {
+		t.Errorf("unmapped read = %d, want 0", got)
+	}
+	if m.Pages() != 0 {
+		t.Errorf("reads must not allocate pages, got %d pages", m.Pages())
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	m := New()
+	m.Write(0x1000, 42)
+	if got := m.Read(0x1000); got != 42 {
+		t.Errorf("Read = %d, want 42", got)
+	}
+	m.Write(0x1000, -7)
+	if got := m.Read(0x1000); got != -7 {
+		t.Errorf("overwrite Read = %d, want -7", got)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	m := New()
+	m.Write(0x1003, 9) // unaligned: lands in the word at 0x1000
+	if got := m.Read(0x1000); got != 9 {
+		t.Errorf("Read(0x1000) = %d, want 9", got)
+	}
+	if got := m.Read(0x1007); got != 9 {
+		t.Errorf("Read(0x1007) = %d, want 9 (same word)", got)
+	}
+	if got := m.Read(0x1008); got != 0 {
+		t.Errorf("Read(0x1008) = %d, want 0 (next word)", got)
+	}
+}
+
+func TestZeroWriteDoesNotAllocate(t *testing.T) {
+	m := New()
+	m.Write(0x5000, 0)
+	if m.Pages() != 0 {
+		t.Errorf("zero write to unmapped memory allocated %d pages", m.Pages())
+	}
+}
+
+func TestCrossPage(t *testing.T) {
+	m := New()
+	m.Write(0xFF8, 1) // last word of page 0
+	m.Write(0x1000, 2)
+	if m.Pages() != 2 {
+		t.Errorf("expected 2 pages, got %d", m.Pages())
+	}
+	if m.Read(0xFF8) != 1 || m.Read(0x1000) != 2 {
+		t.Error("cross-page values corrupted")
+	}
+}
+
+func TestWriteReadWords(t *testing.T) {
+	m := New()
+	vals := []int64{10, 20, 30, 40, 50}
+	m.WriteWords(0x2000, vals)
+	got := m.ReadWords(0x2000, len(vals))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("word %d = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Write(0x100, 7)
+	c := m.Clone()
+	c.Write(0x100, 8)
+	c.Write(0x9000, 3)
+	if m.Read(0x100) != 7 {
+		t.Error("clone write leaked into original")
+	}
+	if m.Read(0x9000) != 0 {
+		t.Error("clone page leaked into original")
+	}
+	if c.Read(0x100) != 8 || c.Read(0x9000) != 3 {
+		t.Error("clone lost its own writes")
+	}
+}
+
+func TestNegativeAddresses(t *testing.T) {
+	// Negative int64 addresses are treated as high unsigned addresses;
+	// round-tripping must still work.
+	m := New()
+	m.Write(-16, 99)
+	if got := m.Read(-16); got != 99 {
+		t.Errorf("negative-address roundtrip = %d, want 99", got)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr int64, val int64) bool {
+		m.Write(addr, val)
+		return m.Read(addr) == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndependentWords(t *testing.T) {
+	// Writing word A never perturbs a different word B.
+	m := New()
+	f := func(a, b int64, va, vb int64) bool {
+		if align(a) == align(b) {
+			return true
+		}
+		m.Write(a, va)
+		m.Write(b, vb)
+		return m.Read(a) == va && m.Read(b) == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

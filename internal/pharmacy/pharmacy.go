@@ -1,0 +1,222 @@
+// Package pharmacy provides the paper's §2 running example — the mythical
+// pharmacy cash-register loop — in two forms:
+//
+//   - Program: a runnable PRX translation of the paper's Figure 1 assembly,
+//     with instruction numbering matching the paper (#00..#13);
+//   - Tree / DCtrig: the slice tree of Figure 3 hand-built with the worked
+//     example's exact statistics (100 iterations, 80 containing load #09,
+//     60/20 path split, 40 misses, loop distances from Figure 1), which the
+//     advantage and selector packages use as their calibration fixture.
+package pharmacy
+
+import (
+	"preexec/internal/isa"
+	"preexec/internal/program"
+	"preexec/internal/slice"
+)
+
+// Register assignments mirroring the paper's Figure 1.
+const (
+	rN     = 1 // R1: N_XACT
+	rFull  = 2 // R2: FULL
+	rPart  = 3 // R3: PARTIAL
+	rI     = 4 // R4: i
+	rXact  = 5 // R5: &xact[i]
+	rCov   = 6 // R6: xact[i].coverage
+	rDrug  = 7 // R7: drug_id / &drugs[drug_id].price
+	rPrice = 8 // R8: drugs[drug_id].price
+	rTake  = 9 // R9: todays_take
+)
+
+// Coverage values stored in the transaction records.
+const (
+	CovFull    = 0
+	CovPartial = 1
+	CovNone    = 2
+)
+
+// Config sizes the example's data.
+type Config struct {
+	NumXact   int   // transactions (loop iterations)
+	NumDrugs  int   // size of the drugs price table
+	XactBase  int64 // address of xact[]
+	DrugsBase int64 // address of drugs[]
+	Seed      int64 // deterministic data layout seed
+}
+
+// DefaultConfig matches the worked example's flavor but with data large
+// enough for the drugs table to miss in a 256KB L2 when walked irregularly.
+func DefaultConfig() Config {
+	return Config{NumXact: 20000, NumDrugs: 1 << 16}
+}
+
+// xact record layout: 16 bytes = 2 words: [coverage, drug_id<<32|generic_id]
+// is tempting, but the paper's code does two loads at displacements 4 and 8;
+// we use 4 words per record for clarity: coverage, drug_id, generic_id, pad.
+const xactWords = 4
+
+// Program builds the pharmacy loop. The instruction indices match the
+// paper's listing:
+//
+//	#00: bge  R4, R1, #14     (exit)
+//	#01: ld   R6, 0(R5)       (coverage)
+//	#02: beq  R6, R2, #11     (full coverage: skip)
+//	#03: bne  R6, R3, #06
+//	#04: ld   R7, 8(R5)       (drug_id)         [paper: 4(R5)]
+//	#05: j    #07
+//	#06: ld   R7, 16(R5)      (generic_drug_id) [paper: 8(R5)]
+//	#07: sll  R7, R7, 3       (word index)      [paper: sll 2]
+//	#08: addi R7, R7, #drugs
+//	#09: ld   R8, 0(R7)       (price: the problem load)
+//	#10: add  R9, R9, R8
+//	#11: addi R5, R5, 32      (next record)     [paper: 16]
+//	#12: addi R4, R4, 1
+//	#13: j    #00
+//	#14: halt
+//
+// Displacements differ from the paper only because PRX words are 8 bytes.
+func Program_(cfg Config) *program.Program {
+	b := program.NewBuilder("pharmacy")
+	if cfg.XactBase == 0 {
+		cfg.XactBase = b.Alloc(int64(cfg.NumXact * xactWords))
+	}
+	if cfg.DrugsBase == 0 {
+		cfg.DrugsBase = b.Alloc(int64(cfg.NumDrugs))
+	}
+	initData(b, cfg)
+
+	// Setup (not numbered in the paper; placed after the loop so the loop
+	// instructions keep the paper's indices).
+	// Entry will be set to the setup label.
+	b.Label("loop")                     // #00
+	b.Bge(rI, rN, "exit")               // #00
+	b.Ld(rCov, rXact, 0)                // #01
+	b.Beq(rCov, rFull, "induct")        // #02
+	b.Bne(rCov, rPart, "generic")       // #03
+	b.Ld(rDrug, rXact, 8)               // #04
+	b.J("use")                          // #05
+	b.Label("generic")                  //
+	b.Ld(rDrug, rXact, 16)              // #06
+	b.Label("use")                      //
+	b.Slli(rDrug, rDrug, 3)             // #07
+	b.Addi(rDrug, rDrug, cfg.DrugsBase) // #08
+	b.Ld(rPrice, rDrug, 0)              // #09
+	b.Add(rTake, rTake, rPrice)         // #10
+	b.Label("induct")                   //
+	b.Addi(rXact, rXact, 32)            // #11
+	b.Addi(rI, rI, 1)                   // #12
+	b.J("loop")                         // #13
+	b.Label("exit")                     //
+	b.Halt()                            // #14
+
+	b.Label("setup")
+	b.Li(rN, int64(cfg.NumXact))
+	b.Li(rFull, CovFull)
+	b.Li(rPart, CovPartial)
+	b.Li(rI, 0)
+	b.Li(rXact, cfg.XactBase)
+	b.Li(rTake, 0)
+	b.J("loop")
+
+	p := b.MustBuild()
+	p.Entry = p.Labels["setup"]
+	return p
+}
+
+// initData lays out transactions (20% full, 60% partial, 20% generic, as in
+// the worked example) and a pseudo-random drug price table whose indices
+// jump around enough to defeat an L2 of the paper's size.
+func initData(b *program.Builder, cfg Config) {
+	s := uint64(cfg.Seed)*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := 0; i < cfg.NumXact; i++ {
+		base := cfg.XactBase + int64(i*xactWords*8)
+		r := next() % 10
+		var cov int64
+		switch {
+		case r < 2:
+			cov = CovFull
+		case r < 8:
+			cov = CovPartial
+		default:
+			cov = CovNone
+		}
+		b.SetWord(base, cov)
+		b.SetWord(base+8, int64(next()%uint64(cfg.NumDrugs)))
+		b.SetWord(base+16, int64(next()%uint64(cfg.NumDrugs)))
+	}
+	for d := 0; d < cfg.NumDrugs; d++ {
+		b.SetWord(cfg.DrugsBase+int64(d*8), int64(d%97+1))
+	}
+}
+
+// PaperStats bundles Figure 3's slice tree with the worked example's
+// per-instruction dynamic counts.
+type PaperStats struct {
+	Tree   *slice.Tree
+	DCtrig map[int]int64
+}
+
+// PaperTree constructs the Figure 3 slice tree with the exact statistics of
+// the paper's worked example: 100 iterations; 80 executing load #09; 60
+// through #04 and 20 through #06; 40 misses splitting 30/10 across the two
+// paths; main-thread distances from Figure 1's loop body (13 dynamic
+// instructions on the #04 path, 12 on the #06 path).
+func PaperTree() PaperStats {
+	ins := map[int]isa.Inst{
+		9:  {Op: isa.LD, Rd: rPrice, Rs1: rDrug},
+		8:  {Op: isa.ADDI, Rd: rDrug, Rs1: rDrug, Imm: 0x8000},
+		7:  {Op: isa.SLLI, Rd: rDrug, Rs1: rDrug, Imm: 2},
+		4:  {Op: isa.LD, Rd: rDrug, Rs1: rXact, Imm: 4},
+		6:  {Op: isa.LD, Rd: rDrug, Rs1: rXact, Imm: 8},
+		11: {Op: isa.ADDI, Rd: rXact, Rs1: rXact, Imm: 16},
+	}
+	node := func(pc, depth int, dcptcm, dist int64, dep0 int) *slice.Node {
+		return &slice.Node{
+			PC: pc, Op: ins[pc], Depth: depth,
+			DCptcm: dcptcm, SumDist: dist * dcptcm,
+			DepPos: [2]int{dep0, slice.NoDep}, MemDepPos: slice.NoDep,
+		}
+	}
+	// Left path A-G (through #04), right path A-C,H-K (through #06).
+	a := node(9, 0, 40, 0, 1)
+	bn := node(8, 1, 40, 1, 2)
+	c := node(7, 2, 40, 2, 3)
+	d := node(4, 3, 30, 4, 4)
+	e := node(11, 4, 30, 11, 5)
+	f := node(11, 5, 30, 24, 6)
+	g := node(11, 6, 30, 37, 7)
+	h := node(6, 3, 10, 3, 4)
+	i := node(11, 4, 10, 9, 5)
+	j := node(11, 5, 10, 21, 6)
+	k := node(11, 6, 10, 33, 7)
+	a.Children = []*slice.Node{bn}
+	bn.Children = []*slice.Node{c}
+	c.Children = []*slice.Node{d, h}
+	d.Children = []*slice.Node{e}
+	e.Children = []*slice.Node{f}
+	f.Children = []*slice.Node{g}
+	h.Children = []*slice.Node{i}
+	i.Children = []*slice.Node{j}
+	j.Children = []*slice.Node{k}
+
+	tree := &slice.Tree{RootPC: 9, Misses: 40, Root: a}
+	return PaperStats{
+		Tree: tree,
+		DCtrig: map[int]int64{
+			9: 80, 8: 80, 7: 80, 4: 60, 6: 20, 11: 100,
+		},
+	}
+}
+
+// PaperParams returns the worked example's machine model: 4-wide processor,
+// unassisted IPC 1 (so BWseq-mt = 2), 8-cycle miss latency, p-threads under
+// 8 instructions, no optimization.
+func PaperParams() (bwSeq, ipc, memLat float64, maxLen int) {
+	return 4, 1, 8, 7
+}

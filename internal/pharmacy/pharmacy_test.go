@@ -1,0 +1,153 @@
+package pharmacy
+
+import (
+	"testing"
+
+	"preexec/internal/cache"
+	"preexec/internal/cpu"
+	"preexec/internal/isa"
+	"preexec/internal/slice"
+)
+
+func TestPaperTreeStructure(t *testing.T) {
+	ps := PaperTree()
+	tr := ps.Tree
+	if tr.RootPC != 9 || tr.Misses != 40 {
+		t.Fatalf("tree root=%d misses=%d, want 9/40", tr.RootPC, tr.Misses)
+	}
+	if got := tr.Nodes(); got != 11 {
+		t.Errorf("nodes = %d, want 11 (A-K)", got)
+	}
+	if err := tr.CheckInvariant(); err != nil {
+		t.Errorf("invariant: %v", err)
+	}
+	// The divergence point: node C (#07) has children #04 and #06 with
+	// DCptcm 30 and 10 summing to the parent's 40 (paper §3.2 invariant).
+	c := tr.Root.Children[0].Children[0]
+	if c.PC != 7 || len(c.Children) != 2 {
+		t.Fatalf("node C wrong: %+v", c)
+	}
+	var sum int64
+	for _, ch := range c.Children {
+		sum += ch.DCptcm
+	}
+	if sum != c.DCptcm {
+		t.Errorf("children DCptcm %d != parent %d", sum, c.DCptcm)
+	}
+}
+
+func TestPaperTreeStatistics(t *testing.T) {
+	ps := PaperTree()
+	want := map[int]int64{9: 80, 8: 80, 7: 80, 4: 60, 6: 20, 11: 100}
+	for pc, n := range want {
+		if ps.DCtrig[pc] != n {
+			t.Errorf("DCtrig[%d] = %d, want %d", pc, ps.DCtrig[pc], n)
+		}
+	}
+	// Distances: the trigger distances of the worked example.
+	var f *slice.Node
+	ps.Tree.Walk(func(path []*slice.Node) {
+		n := path[len(path)-1]
+		if n.Depth == 5 && n.DCptcm == 30 {
+			f = n
+		}
+	})
+	if f == nil {
+		t.Fatal("node F not found")
+	}
+	if f.AvgDist() != 24 {
+		t.Errorf("F avg dist = %v, want 24 (two iterations back)", f.AvgDist())
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	bw, ipc, lcm, maxLen := PaperParams()
+	if bw != 4 || ipc != 1 || lcm != 8 || maxLen != 7 {
+		t.Errorf("PaperParams = %v %v %v %v", bw, ipc, lcm, maxLen)
+	}
+}
+
+func TestProgramRunsAndSums(t *testing.T) {
+	cfg := Config{NumXact: 500, NumDrugs: 1 << 10}
+	p := Program_(cfg)
+	st := cpu.New(p)
+	if _, err := st.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Halted {
+		t.Fatal("pharmacy program did not halt")
+	}
+	if st.Regs[9] == 0 {
+		t.Error("todays_take is zero; the loop did no work")
+	}
+}
+
+func TestProgramInstructionNumbering(t *testing.T) {
+	// The loop instructions carry the paper's Figure 1 indices.
+	p := Program_(Config{NumXact: 10, NumDrugs: 64})
+	wantOps := map[int]isa.Op{
+		0:  isa.BGE,
+		1:  isa.LD,
+		2:  isa.BEQ,
+		3:  isa.BNE,
+		4:  isa.LD,
+		5:  isa.J,
+		6:  isa.LD,
+		7:  isa.SLLI,
+		8:  isa.ADDI,
+		9:  isa.LD, // the problem load
+		10: isa.ADD,
+		11: isa.ADDI,
+		12: isa.ADDI,
+		13: isa.J,
+		14: isa.HALT,
+	}
+	for idx, op := range wantOps {
+		if p.Insts[idx].Op != op {
+			t.Errorf("#%02d = %v, want %v", idx, p.Insts[idx].Op, op)
+		}
+	}
+	if p.Entry == 0 {
+		t.Error("entry should be the setup block, not the loop")
+	}
+}
+
+func TestProgramProblemLoadMisses(t *testing.T) {
+	// With the default (large) drugs table, load #09 must produce L2
+	// misses — it is the paper's static problem load.
+	p := Program_(DefaultConfig())
+	st := cpu.New(p)
+	h := cache.DefaultHierarchy()
+	missByPC := map[int]int64{}
+	for i := 0; i < 400_000 && !st.Halted; i++ {
+		e, err := st.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Inst.Op == isa.LD && h.Access(e.EffAddr, false) == cache.MissL2 {
+			missByPC[e.PC]++
+		}
+	}
+	if missByPC[9] < 1000 {
+		t.Errorf("load #09 missed %d times, want >= 1000", missByPC[9])
+	}
+}
+
+func TestCoverageMix(t *testing.T) {
+	// The transaction stream approximates the worked example's 20/60/20
+	// full/partial/none coverage split.
+	cfg := Config{NumXact: 10_000, NumDrugs: 1 << 10}
+	p := Program_(cfg)
+	counts := map[int64]int{}
+	for i := 0; i < cfg.NumXact; i++ {
+		cov := p.Data.Read(0x10000 + int64(i*xactWords*8))
+		counts[cov]++
+	}
+	frac := func(c int64) float64 { return float64(counts[c]) / float64(cfg.NumXact) }
+	if f := frac(CovFull); f < 0.15 || f > 0.25 {
+		t.Errorf("full fraction = %.2f, want ~0.20", f)
+	}
+	if f := frac(CovPartial); f < 0.55 || f > 0.65 {
+		t.Errorf("partial fraction = %.2f, want ~0.60", f)
+	}
+}

@@ -1,0 +1,255 @@
+// Package program provides the container for PRX programs and a small
+// assembler-style builder with symbolic labels. The synthetic workloads
+// (package workload) are written against the builder; everything downstream
+// (functional simulation, slicing, timing simulation) consumes the resolved
+// Program.
+package program
+
+import (
+	"fmt"
+
+	"preexec/internal/isa"
+	"preexec/internal/mem"
+)
+
+// Program is a fully resolved PRX program plus its initial data image.
+type Program struct {
+	Name   string
+	Insts  []isa.Inst
+	Labels map[string]int
+	// Data is the initial memory image. Runs must Clone it if they mutate it
+	// and want to preserve the pristine image for later runs.
+	Data *mem.Memory
+	// Entry is the starting PC (instruction index).
+	Entry int
+}
+
+// At returns the instruction at pc and whether pc is in range.
+func (p *Program) At(pc int) (isa.Inst, bool) {
+	if pc < 0 || pc >= len(p.Insts) {
+		return isa.Inst{}, false
+	}
+	return p.Insts[pc], true
+}
+
+// Builder assembles a Program. Branch and jump targets are written as label
+// strings and resolved by Build. Forward references are allowed.
+type Builder struct {
+	name    string
+	insts   []isa.Inst
+	labels  map[string]int
+	fixups  []fixup // instructions whose Target awaits label resolution
+	data    *mem.Memory
+	nextVar int64 // bump allocator for Alloc
+	errs    []error
+}
+
+type fixup struct {
+	idx   int
+	label string
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		labels:  make(map[string]int),
+		data:    mem.New(),
+		nextVar: 0x10000, // data segment base; low addresses stay unmapped
+	}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.insts) }
+
+// Label defines a label at the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op isa.Op, rs1, rs2 isa.Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	return b.Emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// ALU and data-movement helpers.
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.MUL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.DIV, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.AND, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.OR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.XOR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.SLL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.SRL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.SLT, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.ANDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Slli(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Srli(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.SRLI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.SLTI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Mov(rd, rs1 isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.MOV, Rd: rd, Rs1: rs1})
+}
+func (b *Builder) Li(rd isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.LI, Rd: rd, Imm: imm})
+}
+
+// Memory helpers.
+
+func (b *Builder) Ld(rd, base isa.Reg, disp int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: base, Imm: disp})
+}
+func (b *Builder) St(data, base isa.Reg, disp int64) *Builder {
+	return b.Emit(isa.Inst{Op: isa.ST, Rs1: base, Rs2: data, Imm: disp})
+}
+
+// Control-flow helpers (label targets, resolved at Build).
+
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BEQ, rs1, rs2, label)
+}
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BNE, rs1, rs2, label)
+}
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BLT, rs1, rs2, label)
+}
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.BGE, rs1, rs2, label)
+}
+func (b *Builder) J(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	return b.Emit(isa.Inst{Op: isa.J})
+}
+func (b *Builder) Jal(rd isa.Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.insts), label})
+	return b.Emit(isa.Inst{Op: isa.JAL, Rd: rd})
+}
+func (b *Builder) Jr(rs isa.Reg) *Builder {
+	return b.Emit(isa.Inst{Op: isa.JR, Rs1: rs})
+}
+func (b *Builder) Nop() *Builder  { return b.Emit(isa.Inst{Op: isa.NOP}) }
+func (b *Builder) Halt() *Builder { return b.Emit(isa.Inst{Op: isa.HALT}) }
+
+// Alloc reserves n 8-byte words in the data segment and returns the base
+// address. Consecutive Allocs are laid out contiguously (plus a guard word)
+// so distinct structures land on distinct cache lines only if the caller
+// aligns them; Alloc aligns every allocation to a 64-byte (L2 line) boundary
+// so workloads get predictable cache behaviour.
+func (b *Builder) Alloc(nWords int64) int64 {
+	const lineBytes = 64
+	base := (b.nextVar + lineBytes - 1) &^ (lineBytes - 1)
+	b.nextVar = base + nWords*8
+	return base
+}
+
+// SetWord initializes one word of the data image.
+func (b *Builder) SetWord(addr int64, val int64) *Builder {
+	b.data.Write(addr, val)
+	return b
+}
+
+// SetWords initializes consecutive words starting at base.
+func (b *Builder) SetWords(base int64, vals []int64) *Builder {
+	b.data.WriteWords(base, vals)
+	return b
+}
+
+// Build resolves labels and returns the program. It fails if any label is
+// undefined or duplicated, or the program is empty.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.insts) == 0 {
+		return nil, fmt.Errorf("program %q has no instructions", b.name)
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q at instruction %d", f.label, f.idx)
+		}
+		insts[f.idx].Target = target
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	return &Program{
+		Name:   b.name,
+		Insts:  insts,
+		Labels: labels,
+		Data:   b.data,
+	}, nil
+}
+
+// MustBuild is Build that panics on error; for use by the workload
+// generators, whose programs are static and tested.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble returns a listing of the whole program, one instruction per
+// line, prefixed with the instruction index.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, in := range p.Insts {
+		out += fmt.Sprintf("#%02d: %s\n", i, in)
+	}
+	return out
+}

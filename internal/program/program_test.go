@@ -1,0 +1,168 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"preexec/internal/isa"
+)
+
+func TestBuildResolvesLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("top").
+		Addi(1, 1, 1).
+		Bne(1, 2, "top").
+		J("end").
+		Nop().
+		Label("end").
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Target != 0 {
+		t.Errorf("bne target = %d, want 0", p.Insts[1].Target)
+	}
+	if p.Insts[2].Target != 4 {
+		t.Errorf("j target = %d, want 4", p.Insts[2].Target)
+	}
+}
+
+func TestForwardAndBackwardReferences(t *testing.T) {
+	b := NewBuilder("t")
+	b.J("fwd")
+	b.Label("back").Halt()
+	b.Label("fwd").J("back")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Target != 2 {
+		t.Errorf("forward target = %d, want 2", p.Insts[0].Target)
+	}
+	if p.Insts[2].Target != 1 {
+		t.Errorf("backward target = %d, want 1", p.Insts[2].Target)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.J("nowhere").Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x").Nop().Label("x").Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("t").Build(); err == nil {
+		t.Fatal("expected error for empty program")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	b := NewBuilder("t")
+	a1 := b.Alloc(3)
+	a2 := b.Alloc(1)
+	if a1%64 != 0 || a2%64 != 0 {
+		t.Errorf("allocations not 64B aligned: %#x %#x", a1, a2)
+	}
+	if a2 <= a1 {
+		t.Errorf("allocations overlap: %#x then %#x", a1, a2)
+	}
+	if a2-a1 < 3*8 {
+		t.Errorf("second allocation %#x overlaps first %#x of 3 words", a2, a1)
+	}
+}
+
+func TestSetWords(t *testing.T) {
+	b := NewBuilder("t")
+	base := b.Alloc(4)
+	b.SetWords(base, []int64{1, 2, 3, 4})
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Data.ReadWords(base, 4)
+	for i, want := range []int64{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Errorf("word %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	p := NewBuilder("t").Addi(1, 0, 5).Halt().MustBuild()
+	if _, ok := p.At(-1); ok {
+		t.Error("At(-1) should be out of range")
+	}
+	if _, ok := p.At(2); ok {
+		t.Error("At(len) should be out of range")
+	}
+	in, ok := p.At(0)
+	if !ok || in.Op != isa.ADDI {
+		t.Errorf("At(0) = %v,%v", in, ok)
+	}
+}
+
+func TestBuilderIsReusableAfterBuild(t *testing.T) {
+	b := NewBuilder("t")
+	b.Halt()
+	p1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Building again must produce an equivalent, independent program.
+	p2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Insts[0].Op = isa.NOP
+	if p1.Insts[0].Op != isa.HALT {
+		t.Error("programs built from the same builder share instruction storage")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := NewBuilder("t").Addi(1, 0, 5).Halt().MustBuild()
+	d := p.Disassemble()
+	if !strings.Contains(d, "#00: addi r1, r0, 5") {
+		t.Errorf("disassembly missing first instruction: %q", d)
+	}
+	if !strings.Contains(d, "#01: halt") {
+		t.Errorf("disassembly missing halt: %q", d)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid program")
+		}
+	}()
+	NewBuilder("t").MustBuild()
+}
+
+func TestBranchHelpers(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("l")
+	b.Beq(1, 2, "l").Bne(3, 4, "l").Blt(5, 6, "l").Bge(7, 8, "l").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE}
+	for i, op := range want {
+		if p.Insts[i].Op != op || p.Insts[i].Target != 0 {
+			t.Errorf("inst %d = %v target %d, want %v target 0", i, p.Insts[i].Op, p.Insts[i].Target, op)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package pthread
+
+import "preexec/internal/isa"
+
+// Merge combines two p-threads with the same trigger whose bodies share a
+// matching dataflow prefix (paper §3.3): the merged p-thread executes the
+// shared prefix once and replicates the divergent suffixes, renaming the
+// second suffix's destinations into the p-thread-temporary register space
+// (>= isa.NumRegs) to preserve both computations. oh computes the per-launch
+// overhead of a body of the given size so the merged prediction stays
+// consistent; it may be nil to skip prediction bookkeeping.
+//
+// Merge fails (ok=false) if the triggers differ, there is no shared prefix,
+// or renaming would exhaust the temporary register space.
+func Merge(a, b *PThread, oh func(size int) float64) (merged *PThread, ok bool) {
+	if a.TriggerPC != b.TriggerPC {
+		return nil, false
+	}
+	// Longest matching dataflow prefix: instruction and dependence equality.
+	n := len(a.Body)
+	if len(b.Body) < n {
+		n = len(b.Body)
+	}
+	prefix := 0
+	for prefix < n &&
+		a.Body[prefix].Inst == b.Body[prefix].Inst &&
+		a.Body[prefix].Dep == b.Body[prefix].Dep &&
+		a.Body[prefix].MemDep == b.Body[prefix].MemDep {
+		prefix++
+	}
+	if prefix == 0 {
+		return nil, false
+	}
+	// Find a free temporary register range: above every register either body
+	// mentions.
+	nextTemp := isa.Reg(isa.NumRegs)
+	maxReg := func(p *PThread) isa.Reg {
+		var m isa.Reg
+		for _, bi := range p.Body {
+			for _, r := range []isa.Reg{bi.Inst.Rd, bi.Inst.Rs1, bi.Inst.Rs2} {
+				if r > m {
+					m = r
+				}
+			}
+		}
+		return m
+	}
+	if m := maxReg(a); m >= nextTemp {
+		nextTemp = m + 1
+	}
+	if m := maxReg(b); m >= nextTemp {
+		nextTemp = m + 1
+	}
+
+	body := make([]BodyInst, 0, len(a.Body)+len(b.Body)-prefix)
+	body = append(body, a.Body...)
+	offset := len(a.Body) - prefix // index shift for b's suffix deps
+	rename := make(map[isa.Reg]isa.Reg)
+	for i := prefix; i < len(b.Body); i++ {
+		bi := b.Body[i]
+		// Sources defined inside b's suffix were renamed; rewrite names.
+		srcs := [2]*isa.Reg{&bi.Inst.Rs1, &bi.Inst.Rs2}
+		_, ns := bi.Inst.Sources()
+		for s := 0; s < ns; s++ {
+			if bi.Dep[s] >= prefix { // produced inside b's suffix
+				if nr, seen := rename[*srcs[s]]; seen {
+					*srcs[s] = nr
+				}
+			}
+		}
+		// Rename the destination to a fresh temporary.
+		if bi.Inst.HasDest() {
+			if nextTemp >= isa.PtRegs {
+				return nil, false
+			}
+			rename[bi.Inst.Rd] = nextTemp
+			bi.Inst.Rd = nextTemp
+			nextTemp++
+		}
+		// Shift suffix-internal dependence indexes.
+		for s := 0; s < 2; s++ {
+			if bi.Dep[s] >= prefix {
+				bi.Dep[s] += offset
+			}
+		}
+		if bi.MemDep >= prefix {
+			bi.MemDep += offset
+		}
+		body = append(body, bi)
+	}
+
+	m := &PThread{
+		TriggerPC: a.TriggerPC,
+		Roots:     append(append([]int{}, a.Roots...), b.Roots...),
+		Body:      body,
+		DCtrig:    maxInt64(a.DCtrig, b.DCtrig),
+		DCptcm:    a.DCptcm + b.DCptcm,
+		FullCov:   a.FullCov && b.FullCov,
+		// Region: merging only happens within one selection region.
+		RegionStart: a.RegionStart,
+		RegionEnd:   a.RegionEnd,
+	}
+	if a.DCptcm+b.DCptcm > 0 {
+		m.LT = (a.LT*float64(a.DCptcm) + b.LT*float64(b.DCptcm)) / float64(a.DCptcm+b.DCptcm)
+	}
+	if oh != nil {
+		m.OH = oh(len(body))
+		// The merged p-thread keeps both latency-tolerance streams and pays
+		// one (longer) body per launch instead of two.
+		m.ADVagg = a.ADVagg + b.ADVagg +
+			a.OH*float64(a.DCtrig) + b.OH*float64(b.DCtrig) - m.OH*float64(m.DCtrig)
+	} else {
+		m.ADVagg = a.ADVagg + b.ADVagg
+	}
+	return m, true
+}
+
+// MergeAll greedily merges p-threads that share a trigger and a dataflow
+// prefix, bounding merged bodies to maxLen instructions (0 = unbounded).
+// Merging only combines p-threads from the same selection region.
+func MergeAll(pts []*PThread, oh func(size int) float64, maxLen int) []*PThread {
+	out := make([]*PThread, 0, len(pts))
+	out = append(out, pts...)
+	for {
+		merged := false
+		for i := 0; i < len(out) && !merged; i++ {
+			for j := i + 1; j < len(out) && !merged; j++ {
+				if out[i].TriggerPC != out[j].TriggerPC {
+					continue
+				}
+				if out[i].RegionStart != out[j].RegionStart || out[i].RegionEnd != out[j].RegionEnd {
+					continue
+				}
+				m, ok := Merge(out[i], out[j], oh)
+				if !ok {
+					continue
+				}
+				if maxLen > 0 && m.Size() > maxLen {
+					continue
+				}
+				out[i] = m
+				out = append(out[:j], out[j+1:]...)
+				merged = true
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package pthread
+
+import (
+	"testing"
+
+	"preexec/internal/cpu"
+	"preexec/internal/isa"
+	"preexec/internal/mem"
+)
+
+// pharmacyF and pharmacyJ are the paper's two selected p-threads (§3.2):
+// both triggered by #11, bodies
+//
+//	F: #11 #04 #07 #08 #09    (the xact[i].drug_id path)
+//	J: #11 #06 #07 #08 #09    (the generic_drug_id path)
+//
+// sharing the dataflow prefix [#11].
+func pharmacyF() *PThread {
+	return &PThread{
+		TriggerPC: 11, Roots: []int{9},
+		DCtrig: 100, DCptcm: 30, LT: 8, OH: 0.625, ADVagg: 177.5,
+		Body: []BodyInst{
+			{Inst: isa.Inst{Op: isa.ADDI, Rd: 5, Rs1: 5, Imm: 16}, Dep: [2]int{DepTrigger, DepLiveIn}, MemDep: DepLiveIn},
+			{Inst: isa.Inst{Op: isa.LD, Rd: 7, Rs1: 5, Imm: 4}, Dep: [2]int{0, DepLiveIn}, MemDep: DepLiveIn},
+			{Inst: isa.Inst{Op: isa.SLLI, Rd: 7, Rs1: 7, Imm: 2}, Dep: [2]int{1, DepLiveIn}, MemDep: DepLiveIn},
+			{Inst: isa.Inst{Op: isa.ADDI, Rd: 7, Rs1: 7, Imm: 0x8000}, Dep: [2]int{2, DepLiveIn}, MemDep: DepLiveIn},
+			{Inst: isa.Inst{Op: isa.LD, Rd: 8, Rs1: 7, Imm: 0}, Dep: [2]int{3, DepLiveIn}, MemDep: DepLiveIn},
+		},
+	}
+}
+
+func pharmacyJ() *PThread {
+	pt := pharmacyF()
+	pt.DCptcm = 10
+	pt.LT = 8
+	pt.ADVagg = 17.5
+	// #06 loads from displacement 8 instead of #04's 4.
+	pt.Body[1].Inst.Imm = 8
+	return pt
+}
+
+func TestMergePharmacy(t *testing.T) {
+	oh := func(size int) float64 { return float64(size) * 0.125 }
+	m, ok := Merge(pharmacyF(), pharmacyJ(), oh)
+	if !ok {
+		t.Fatal("merge failed")
+	}
+	// Shared prefix = 1 inst (#11 copy); merged size = 5 + 4 = 9.
+	if m.Size() != 9 {
+		t.Fatalf("merged size = %d, want 9", m.Size())
+	}
+	if m.TriggerPC != 11 {
+		t.Errorf("trigger = %d, want 11", m.TriggerPC)
+	}
+	if len(m.Roots) != 2 {
+		t.Errorf("roots = %v, want both", m.Roots)
+	}
+	if m.DCtrig != 100 {
+		t.Errorf("DCtrig = %d, want 100 (one launch does both)", m.DCtrig)
+	}
+	if m.DCptcm != 40 {
+		t.Errorf("DCptcm = %d, want 40", m.DCptcm)
+	}
+	// The replicated suffix must write temporaries >= 32, not clobber the
+	// first computation's registers.
+	for _, bi := range m.Body[5:] {
+		if bi.Inst.HasDest() && bi.Inst.Rd < isa.NumRegs {
+			t.Errorf("suffix inst %v writes architectural register", bi.Inst)
+		}
+	}
+}
+
+func TestMergeExecutesBothComputations(t *testing.T) {
+	// Functional check: the merged body must produce both prefetch
+	// addresses that the two separate bodies produce.
+	f, j := pharmacyF(), pharmacyJ()
+	m, ok := Merge(f, j, nil)
+	if !ok {
+		t.Fatal("merge failed")
+	}
+	mm := mem.New()
+	// xact array at 0x1000: r5 points at xact[i]-16 (trigger already ran).
+	mm.Write(0x1000+16+4, 3) // drug_id via #04 path (word at +4... word-aligned: use offsets 0/8)
+	mm.Write(0x1000+16+8, 5) // generic id
+	run := func(body []BodyInst) []int64 {
+		regs := make([]int64, isa.PtRegs)
+		regs[5] = 0x1000
+		insts := make([]isa.Inst, len(body))
+		for i, bi := range body {
+			insts[i] = bi.Inst
+		}
+		res := cpu.ExecBody(insts, regs, mm)
+		var addrs []int64
+		for i, a := range res.EffAddrs {
+			if insts[i].Op == isa.LD {
+				addrs = append(addrs, a)
+			}
+		}
+		return addrs
+	}
+	fAddrs := run(f.Body)
+	jAddrs := run(j.Body)
+	mAddrs := run(m.Body)
+	want := map[int64]bool{
+		fAddrs[len(fAddrs)-1]: true,
+		jAddrs[len(jAddrs)-1]: true,
+	}
+	found := 0
+	for _, a := range mAddrs {
+		if want[a] {
+			found++
+			delete(want, a)
+		}
+	}
+	if found != 2 {
+		t.Errorf("merged body produced addresses %v; missing %v", mAddrs, want)
+	}
+}
+
+func TestMergeRejectsDifferentTriggers(t *testing.T) {
+	a, b := pharmacyF(), pharmacyJ()
+	b.TriggerPC = 12
+	if _, ok := Merge(a, b, nil); ok {
+		t.Error("merge must reject different triggers")
+	}
+}
+
+func TestMergeRejectsNoCommonPrefix(t *testing.T) {
+	a := pharmacyF()
+	b := pharmacyF()
+	b.Body[0].Inst.Imm = 999 // first instruction differs
+	if _, ok := Merge(a, b, nil); ok {
+		t.Error("merge must reject bodies with no shared prefix")
+	}
+}
+
+func TestMergePredictionBookkeeping(t *testing.T) {
+	oh := func(size int) float64 { return float64(size) * 0.125 }
+	f, j := pharmacyF(), pharmacyJ()
+	m, _ := Merge(f, j, oh)
+	// Separate overhead: (5*0.125)*100 + (5*0.125)*100 = 125. Merged:
+	// (9*0.125)*100 = 112.5. ADV should improve by 12.5.
+	wantADV := f.ADVagg + j.ADVagg + 12.5
+	if diff := m.ADVagg - wantADV; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("merged ADVagg = %v, want %v", m.ADVagg, wantADV)
+	}
+	if m.OH != 9*0.125 {
+		t.Errorf("merged OH = %v, want %v", m.OH, 9*0.125)
+	}
+}
+
+func TestMergeAllGreedy(t *testing.T) {
+	oh := func(size int) float64 { return float64(size) * 0.125 }
+	pts := []*PThread{pharmacyF(), pharmacyJ()}
+	out := MergeAll(pts, oh, 0)
+	if len(out) != 1 {
+		t.Fatalf("MergeAll left %d p-threads, want 1", len(out))
+	}
+	if out[0].Size() != 9 {
+		t.Errorf("merged size = %d, want 9", out[0].Size())
+	}
+}
+
+func TestMergeAllRespectsMaxLen(t *testing.T) {
+	oh := func(size int) float64 { return float64(size) * 0.125 }
+	pts := []*PThread{pharmacyF(), pharmacyJ()}
+	out := MergeAll(pts, oh, 8) // merged would be 9 > 8
+	if len(out) != 2 {
+		t.Errorf("MergeAll merged past maxLen: %d p-threads", len(out))
+	}
+}
+
+func TestMergeAllKeepsDistinctTriggers(t *testing.T) {
+	a, b := pharmacyF(), pharmacyJ()
+	b.TriggerPC = 12
+	out := MergeAll([]*PThread{a, b}, nil, 0)
+	if len(out) != 2 {
+		t.Errorf("MergeAll merged p-threads with different triggers")
+	}
+}
+
+func TestMergeAllRespectsRegions(t *testing.T) {
+	a, b := pharmacyF(), pharmacyJ()
+	a.RegionStart, a.RegionEnd = 0, 1000
+	b.RegionStart, b.RegionEnd = 1000, 2000
+	out := MergeAll([]*PThread{a, b}, nil, 0)
+	if len(out) != 2 {
+		t.Errorf("MergeAll merged across regions")
+	}
+}

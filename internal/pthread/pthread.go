@@ -1,0 +1,166 @@
+// Package pthread defines static p-threads — trigger/body pairs extracted
+// from slice trees — and implements the framework's two enhancements from
+// the paper's §3.3: localized p-thread optimization (store-load pair
+// elimination, constant folding, register-move elimination) and merging of
+// p-threads with matching dataflow prefixes.
+package pthread
+
+import (
+	"fmt"
+	"strings"
+
+	"preexec/internal/isa"
+	"preexec/internal/slice"
+)
+
+// Dependence encodings for BodyInst.Dep and MemDep.
+const (
+	// DepLiveIn marks an operand produced before the trigger; its value is
+	// available in the seed register file at launch.
+	DepLiveIn = -1
+	// DepTrigger marks an operand produced by the trigger instruction
+	// itself; it becomes available when the main thread completes the
+	// trigger (the launch mechanism forwards it).
+	DepTrigger = -2
+)
+
+// BodyInst is one p-thread body instruction with its intra-body dataflow.
+type BodyInst struct {
+	Inst isa.Inst
+	// Dep[i] is the body index of the producer of register source i, or
+	// DepLiveIn / DepTrigger.
+	Dep [2]int
+	// MemDep is, for loads, the body index of the producing store, or
+	// DepLiveIn (no in-body producer).
+	MemDep int
+}
+
+// PThread is a static p-thread: dynamic instances of the body are launched
+// every time the main thread renames an instance of the trigger.
+type PThread struct {
+	// TriggerPC is the static instruction whose rename launches the body.
+	TriggerPC int
+	// Roots are the static problem loads this p-thread pre-executes (one,
+	// unless p-threads were merged).
+	Roots []int
+	Body  []BodyInst
+
+	// Selection-time statistics and predictions (model outputs; the
+	// validation experiments compare them against simulated measurements).
+	DCtrig  int64   // predicted dynamic launches
+	DCptcm  int64   // predicted misses pre-executed
+	LT      float64 // predicted latency tolerance per covered miss (cycles)
+	OH      float64 // predicted overhead per launch (cycles)
+	ADVagg  float64 // aggregate advantage at selection time
+	FullCov bool    // LT reached the full miss latency
+
+	// Region restricts launches to a dynamic-instruction range when p-thread
+	// selection ran at sub-program granularity. Zero values mean "always".
+	RegionStart, RegionEnd int64
+}
+
+// Size returns the body length in instructions (the paper's SIZEpt).
+func (p *PThread) Size() int { return len(p.Body) }
+
+// Insts returns the body as a plain instruction slice for execution.
+func (p *PThread) Insts() []isa.Inst {
+	out := make([]isa.Inst, len(p.Body))
+	for i, bi := range p.Body {
+		out[i] = bi.Inst
+	}
+	return out
+}
+
+// ActiveAt reports whether the p-thread may launch at the given dynamic
+// instruction index (region gating for fine-grained selection).
+func (p *PThread) ActiveAt(seq int64) bool {
+	if p.RegionStart == 0 && p.RegionEnd == 0 {
+		return true
+	}
+	return seq >= p.RegionStart && seq < p.RegionEnd
+}
+
+// String renders the p-thread as a trigger annotation plus body listing.
+func (p *PThread) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trigger #%02d -> roots %v (DCtrig=%d DCptcm=%d LT=%.1f OH=%.3f ADV=%.1f)\n",
+		p.TriggerPC, p.Roots, p.DCtrig, p.DCptcm, p.LT, p.OH, p.ADVagg)
+	for i, bi := range p.Body {
+		fmt.Fprintf(&b, "  [%d] %s\n", i, bi.Inst)
+	}
+	return b.String()
+}
+
+// FromPath builds the p-thread body for the slice-tree node at the end of
+// path (path[0] = root load ... path[k] = trigger). The body contains the
+// slice instructions strictly after the trigger in dynamic order: depths
+// k-1, k-2, ..., 0 — so body[j] corresponds to path[k-1-j] and the final
+// body instruction is the problem load. This matches the paper's candidate
+// accounting (the trigger is an annotation, not a body instruction).
+func FromPath(path []*slice.Node) *PThread {
+	k := len(path) - 1
+	if k < 1 {
+		return nil // the root itself cannot be a trigger for a useful body
+	}
+	trigger := path[k]
+	body := make([]BodyInst, k)
+	depthToBody := func(depth int) int {
+		// producer at depth d: body index k-1-d if 0 <= d <= k-1.
+		switch {
+		case depth == slice.NoDep:
+			return DepLiveIn
+		case depth == k:
+			return DepTrigger
+		case depth > k:
+			return DepLiveIn // produced before the trigger
+		default:
+			return k - 1 - depth
+		}
+	}
+	for j := 0; j < k; j++ {
+		n := path[k-1-j]
+		bi := BodyInst{
+			Inst:   n.Op,
+			Dep:    [2]int{depthToBody(n.DepPos[0]), depthToBody(n.DepPos[1])},
+			MemDep: DepLiveIn,
+		}
+		if n.MemDepPos != slice.NoDep {
+			if md := depthToBody(n.MemDepPos); md >= 0 {
+				bi.MemDep = md
+			}
+		}
+		// Only keep deps for operands the instruction actually reads.
+		_, ns := n.Op.Sources()
+		for s := ns; s < 2; s++ {
+			bi.Dep[s] = DepLiveIn
+		}
+		body[j] = bi
+	}
+	return &PThread{
+		TriggerPC: trigger.PC,
+		Roots:     []int{path[0].PC},
+		Body:      body,
+	}
+}
+
+// LiveIns returns the set of architectural registers the body reads before
+// writing — the seed values the launch mechanism must provide.
+func (p *PThread) LiveIns() []isa.Reg {
+	written := make(map[isa.Reg]bool)
+	seen := make(map[isa.Reg]bool)
+	var out []isa.Reg
+	for _, bi := range p.Body {
+		srcs, ns := bi.Inst.Sources()
+		for i := 0; i < ns; i++ {
+			r := srcs[i]
+			if r != isa.Zero && !written[r] && !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+		if bi.Inst.HasDest() {
+			written[bi.Inst.Rd] = true
+		}
+	}
+	return out
+}

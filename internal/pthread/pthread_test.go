@@ -1,0 +1,144 @@
+package pthread
+
+import (
+	"testing"
+
+	"preexec/internal/isa"
+	"preexec/internal/slice"
+)
+
+// pharmacyLeftPath builds the slice-tree path for the paper's left-hand
+// computation: root #09 <- #08 <- #07 <- #04 <- #11 <- #11 (Figure 3,
+// nodes A..F). Dependence positions use path depths.
+func pharmacyLeftPath() []*slice.Node {
+	mk := func(pc int, op isa.Inst, depth int, dep0 int) *slice.Node {
+		return &slice.Node{
+			PC: pc, Op: op, Depth: depth,
+			DepPos: [2]int{dep0, slice.NoDep}, MemDepPos: slice.NoDep,
+			DCptcm: 30,
+		}
+	}
+	// #09: ld r8,0(r7)    <- addr from #08 (depth 1)
+	// #08: addi r7,r7,D   <- from #07 (depth 2)
+	// #07: sll r7,r7,2    <- from #04 (depth 3)
+	// #04: ld r7,4(r5)    <- addr from #11 (depth 4)
+	// #11: addi r5,r5,16  <- from #11 (depth 5)
+	// #11: addi r5,r5,16  <- live-in
+	a := mk(9, isa.Inst{Op: isa.LD, Rd: 8, Rs1: 7}, 0, 1)
+	b := mk(8, isa.Inst{Op: isa.ADDI, Rd: 7, Rs1: 7, Imm: 0x2000}, 1, 2)
+	c := mk(7, isa.Inst{Op: isa.SLLI, Rd: 7, Rs1: 7, Imm: 2}, 2, 3)
+	d := mk(4, isa.Inst{Op: isa.LD, Rd: 7, Rs1: 5, Imm: 4}, 3, 4)
+	e := mk(11, isa.Inst{Op: isa.ADDI, Rd: 5, Rs1: 5, Imm: 16}, 4, 5)
+	f := mk(11, isa.Inst{Op: isa.ADDI, Rd: 5, Rs1: 5, Imm: 16}, 5, slice.NoDep)
+	return []*slice.Node{a, b, c, d, e, f}
+}
+
+func TestFromPathBodyOrder(t *testing.T) {
+	path := pharmacyLeftPath()
+	pt := FromPath(path)
+	if pt == nil {
+		t.Fatal("FromPath returned nil")
+	}
+	if pt.TriggerPC != 11 {
+		t.Errorf("trigger = %d, want 11", pt.TriggerPC)
+	}
+	if pt.Roots[0] != 9 {
+		t.Errorf("root = %v, want [9]", pt.Roots)
+	}
+	if pt.Size() != 5 {
+		t.Fatalf("size = %d, want 5 (trigger excluded)", pt.Size())
+	}
+	wantOps := []isa.Op{isa.ADDI, isa.LD, isa.SLLI, isa.ADDI, isa.LD}
+	for i, op := range wantOps {
+		if pt.Body[i].Inst.Op != op {
+			t.Errorf("body[%d].Op = %v, want %v", i, pt.Body[i].Inst.Op, op)
+		}
+	}
+	// Dependences: body[0] (the #11 copy) depends on the trigger.
+	if pt.Body[0].Dep[0] != DepTrigger {
+		t.Errorf("body[0].Dep = %v, want DepTrigger", pt.Body[0].Dep)
+	}
+	// Each later body inst depends on its predecessor.
+	for i := 1; i < 5; i++ {
+		if pt.Body[i].Dep[0] != i-1 {
+			t.Errorf("body[%d].Dep[0] = %d, want %d", i, pt.Body[i].Dep[0], i-1)
+		}
+	}
+}
+
+func TestFromPathRootOnly(t *testing.T) {
+	path := pharmacyLeftPath()[:1]
+	if pt := FromPath(path); pt != nil {
+		t.Error("a root-only path has no valid p-thread")
+	}
+}
+
+func TestFromPathShortCandidate(t *testing.T) {
+	// Trigger = #08 (depth 1): body = just the load. This is the paper's
+	// candidate 1 with SIZE 1.
+	path := pharmacyLeftPath()[:2]
+	pt := FromPath(path)
+	if pt.Size() != 1 || pt.Body[0].Inst.Op != isa.LD {
+		t.Fatalf("candidate 1 = %v", pt)
+	}
+	if pt.TriggerPC != 8 {
+		t.Errorf("trigger = %d, want 8", pt.TriggerPC)
+	}
+	if pt.Body[0].Dep[0] != DepTrigger {
+		t.Errorf("load's address must come from the trigger, got %v", pt.Body[0].Dep)
+	}
+}
+
+func TestLiveIns(t *testing.T) {
+	pt := FromPath(pharmacyLeftPath())
+	ins := pt.LiveIns()
+	if len(ins) != 1 || ins[0] != 5 {
+		t.Errorf("live-ins = %v, want [r5]", ins)
+	}
+}
+
+func TestLiveInsIgnoresWrittenFirst(t *testing.T) {
+	pt := &PThread{Body: []BodyInst{
+		{Inst: isa.Inst{Op: isa.LI, Rd: 3, Imm: 1}},
+		{Inst: isa.Inst{Op: isa.ADD, Rd: 4, Rs1: 3, Rs2: 2}},
+	}}
+	ins := pt.LiveIns()
+	if len(ins) != 1 || ins[0] != 2 {
+		t.Errorf("live-ins = %v, want [r2]", ins)
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	always := &PThread{}
+	if !always.ActiveAt(0) || !always.ActiveAt(1<<40) {
+		t.Error("unregioned p-thread must always be active")
+	}
+	regioned := &PThread{RegionStart: 100, RegionEnd: 200}
+	if regioned.ActiveAt(99) || !regioned.ActiveAt(100) || !regioned.ActiveAt(199) || regioned.ActiveAt(200) {
+		t.Error("region gating wrong")
+	}
+}
+
+func TestStringContainsTriggerAndBody(t *testing.T) {
+	pt := FromPath(pharmacyLeftPath())
+	s := pt.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	for _, want := range []string{"trigger #11", "ld r8, 0(r7)"} {
+		if !contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

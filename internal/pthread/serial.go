@@ -1,0 +1,85 @@
+package pthread
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"preexec/internal/isa"
+)
+
+// pthreadFile is the on-disk representation of a selected p-thread set —
+// the artifact tselect writes and tsim consumes, completing the paper's
+// §4.1 tool flow (profile -> select -> simulate as separate invocations).
+type pthreadFile struct {
+	Version  int        `json:"version"`
+	PThreads []*PThread `json:"pthreads"`
+}
+
+const pthreadVersion = 1
+
+// Save writes a p-thread set to path as JSON.
+func Save(path string, pts []*PThread) error {
+	data, err := json.MarshalIndent(pthreadFile{Version: pthreadVersion, PThreads: pts}, "", " ")
+	if err != nil {
+		return fmt.Errorf("pthread: marshal: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a p-thread set written by Save, validating each body.
+func Load(path string) ([]*PThread, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pthread: read: %w", err)
+	}
+	var f pthreadFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("pthread: parse %s: %w", path, err)
+	}
+	if f.Version != pthreadVersion {
+		return nil, fmt.Errorf("pthread: %s has version %d, want %d", path, f.Version, pthreadVersion)
+	}
+	for i, pt := range f.PThreads {
+		if pt == nil {
+			return nil, fmt.Errorf("pthread: %s: entry %d is null", path, i)
+		}
+		if err := pt.Validate(); err != nil {
+			return nil, fmt.Errorf("pthread: %s: entry %d: %w", path, i, err)
+		}
+	}
+	return f.PThreads, nil
+}
+
+// Validate checks a p-thread's structural integrity: dependence indexes in
+// range and pointing backward, registers within the p-thread register file,
+// and a non-degenerate final instruction for non-empty bodies.
+func (p *PThread) Validate() error {
+	for i, bi := range p.Body {
+		check := func(d int, kind string) error {
+			switch {
+			case d == DepLiveIn || d == DepTrigger:
+				return nil
+			case d < 0 || d >= i:
+				return fmt.Errorf("body[%d]: %s dependence %d out of range", i, kind, d)
+			default:
+				return nil
+			}
+		}
+		if err := check(bi.Dep[0], "first"); err != nil {
+			return err
+		}
+		if err := check(bi.Dep[1], "second"); err != nil {
+			return err
+		}
+		if err := check(bi.MemDep, "memory"); err != nil {
+			return err
+		}
+		for _, r := range []isa.Reg{bi.Inst.Rd, bi.Inst.Rs1, bi.Inst.Rs2} {
+			if r >= isa.PtRegs {
+				return fmt.Errorf("body[%d]: register r%d exceeds the p-thread register file", i, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package pthread
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pts := []*PThread{pharmacyF(), pharmacyJ()}
+	pts[1].RegionStart, pts[1].RegionEnd = 100, 200
+	path := filepath.Join(t.TempDir(), "pts.json")
+	if err := Save(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d p-threads, want 2", len(got))
+	}
+	a, b := got[0], got[1]
+	if a.TriggerPC != 11 || a.Size() != 5 || a.DCtrig != 100 {
+		t.Errorf("p-thread 0 lost fields: %+v", a)
+	}
+	if b.RegionStart != 100 || b.RegionEnd != 200 {
+		t.Errorf("region gating lost: %+v", b)
+	}
+	for i := range a.Body {
+		if a.Body[i] != pts[0].Body[i] {
+			t.Errorf("body[%d] changed across round trip", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptDeps(t *testing.T) {
+	pt := pharmacyF()
+	pt.Body[1].Dep[0] = 4 // forward reference: invalid
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := Save(path, []*PThread{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("forward dependence should fail validation")
+	}
+}
+
+func TestLoadRejectsBadRegisters(t *testing.T) {
+	pt := pharmacyF()
+	pt.Body[0].Inst.Rd = 200
+	path := filepath.Join(t.TempDir(), "badreg.json")
+	if err := Save(path, []*PThread{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("out-of-file register should fail validation")
+	}
+}
+
+func TestLoadMissingAndGarbage(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestValidateAcceptsSpecialDeps(t *testing.T) {
+	pt := pharmacyF()
+	if err := pt.Validate(); err != nil {
+		t.Errorf("pharmacy F should validate: %v", err)
+	}
+	empty := &PThread{TriggerPC: 3, Roots: []int{4}}
+	if err := empty.Validate(); err != nil {
+		t.Errorf("empty body should validate: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package sampling implements the cyclic simulation-sampling scheme of the
+// paper's methodology (§4.1): execution cycles through *off* (fast-forward,
+// nothing modeled), *warm* (caches and branch predictor train, no
+// statistics) and *on* (full detail) phases at regular intervals. The paper
+// samples 100M of every 1B instructions with 10M-instruction warm-up phases
+// and verifies that cyclic sampling is equivalent to unsampled execution by
+// miss rates and IPCs; this package provides the schedule, and the profiler
+// consumes it.
+package sampling
+
+import "fmt"
+
+// Phase is the current sampling state.
+type Phase uint8
+
+// Phases, in cycle order.
+const (
+	Off Phase = iota
+	Warm
+	On
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Off:
+		return "off"
+	case Warm:
+		return "warm"
+	case On:
+		return "on"
+	default:
+		return "unknown"
+	}
+}
+
+// Schedule describes one sampling period: OffInsts of fast-forwarding,
+// WarmInsts of training, OnInsts of measurement, repeated. A zero OffInsts
+// with zero WarmInsts measures everything.
+type Schedule struct {
+	OffInsts  int64
+	WarmInsts int64
+	OnInsts   int64
+}
+
+// Validate checks that the schedule can make progress.
+func (s Schedule) Validate() error {
+	if s.OffInsts < 0 || s.WarmInsts < 0 || s.OnInsts <= 0 {
+		return fmt.Errorf("sampling: invalid schedule %+v (OnInsts must be positive, others non-negative)", s)
+	}
+	return nil
+}
+
+// Period returns the instructions in one full off/warm/on cycle.
+func (s Schedule) Period() int64 { return s.OffInsts + s.WarmInsts + s.OnInsts }
+
+// PhaseAt returns the phase of dynamic instruction n (0-based) and how many
+// instructions remain in that phase including n.
+func (s Schedule) PhaseAt(n int64) (Phase, int64) {
+	p := n % s.Period()
+	switch {
+	case p < s.OffInsts:
+		return Off, s.OffInsts - p
+	case p < s.OffInsts+s.WarmInsts:
+		return Warm, s.OffInsts + s.WarmInsts - p
+	default:
+		return On, s.Period() - p
+	}
+}
+
+// OnFraction returns the fraction of instructions measured.
+func (s Schedule) OnFraction() float64 {
+	return float64(s.OnInsts) / float64(s.Period())
+}
+
+// MeasuredBy returns how many instructions the schedule measures within the
+// first total instructions.
+func (s Schedule) MeasuredBy(total int64) int64 {
+	period := s.Period()
+	full := total / period
+	measured := full * s.OnInsts
+	rem := total % period
+	if inOn := rem - s.OffInsts - s.WarmInsts; inOn > 0 {
+		measured += inOn
+	}
+	return measured
+}
+
+// Paper returns the paper's schedule scaled by the given divisor: the paper
+// measures 100M of every 1B with 10M warm-up (i.e. off 890M, warm 10M, on
+// 100M); Paper(1000) yields off 890K / warm 10K / on 100K.
+func Paper(divisor int64) Schedule {
+	if divisor <= 0 {
+		divisor = 1
+	}
+	return Schedule{
+		OffInsts:  890_000_000 / divisor,
+		WarmInsts: 10_000_000 / divisor,
+		OnInsts:   100_000_000 / divisor,
+	}
+}

@@ -1,0 +1,104 @@
+package sampling
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	bad := []Schedule{
+		{OnInsts: 0},
+		{OffInsts: -1, OnInsts: 10},
+		{WarmInsts: -5, OnInsts: 10},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %+v should be invalid", s)
+		}
+	}
+	if err := (Schedule{OffInsts: 100, WarmInsts: 10, OnInsts: 50}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	s := Schedule{OffInsts: 100, WarmInsts: 10, OnInsts: 50}
+	cases := []struct {
+		n         int64
+		phase     Phase
+		remaining int64
+	}{
+		{0, Off, 100},
+		{99, Off, 1},
+		{100, Warm, 10},
+		{109, Warm, 1},
+		{110, On, 50},
+		{159, On, 1},
+		{160, Off, 100}, // next period
+		{320, Off, 100},
+	}
+	for _, c := range cases {
+		p, rem := s.PhaseAt(c.n)
+		if p != c.phase || rem != c.remaining {
+			t.Errorf("PhaseAt(%d) = %v,%d want %v,%d", c.n, p, rem, c.phase, c.remaining)
+		}
+	}
+}
+
+func TestAllOnSchedule(t *testing.T) {
+	s := Schedule{OnInsts: 10}
+	for n := int64(0); n < 25; n++ {
+		if p, _ := s.PhaseAt(n); p != On {
+			t.Fatalf("all-on schedule returned %v at %d", p, n)
+		}
+	}
+}
+
+func TestOnFraction(t *testing.T) {
+	s := Schedule{OffInsts: 60, WarmInsts: 20, OnInsts: 20}
+	if got := s.OnFraction(); got != 0.2 {
+		t.Errorf("OnFraction = %v, want 0.2", got)
+	}
+}
+
+func TestMeasuredBy(t *testing.T) {
+	s := Schedule{OffInsts: 100, WarmInsts: 10, OnInsts: 50}
+	cases := []struct {
+		total, want int64
+	}{
+		{0, 0},
+		{100, 0},   // all off
+		{110, 0},   // off+warm
+		{111, 1},   // 1 measured
+		{160, 50},  // one full period
+		{260, 50},  // second period's off phase
+		{320, 100}, // two full periods
+	}
+	for _, c := range cases {
+		if got := s.MeasuredBy(c.total); got != c.want {
+			t.Errorf("MeasuredBy(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestPaper(t *testing.T) {
+	s := Paper(1000)
+	if s.OffInsts != 890_000 || s.WarmInsts != 10_000 || s.OnInsts != 100_000 {
+		t.Errorf("Paper(1000) = %+v", s)
+	}
+	if s.Period() != 1_000_000 {
+		t.Errorf("period = %d", s.Period())
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	if Paper(0).OnInsts != 100_000_000 {
+		t.Error("Paper(0) should behave as divisor 1")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if Off.String() != "off" || Warm.String() != "warm" || On.String() != "on" {
+		t.Error("phase strings wrong")
+	}
+	if Phase(9).String() != "unknown" {
+		t.Error("unknown phase string wrong")
+	}
+}

@@ -1,0 +1,27 @@
+package selector
+
+import (
+	"testing"
+
+	"preexec/internal/slice"
+	"preexec/internal/workload"
+)
+
+// BenchmarkSelectForest measures selection (candidate scoring + iterative
+// overlap correction + merging) on a profiled forest.
+func BenchmarkSelectForest(b *testing.B) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest, err := slice.ProfileWhole(w.Build(1), slice.ProfileOptions{MaxInsts: 100_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := paperOpts()
+	opts.Merge = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectForest(forest, opts)
+	}
+}

@@ -1,0 +1,277 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"preexec/internal/advantage"
+	"preexec/internal/isa"
+	"preexec/internal/pharmacy"
+	"preexec/internal/slice"
+)
+
+func paperOpts() Options {
+	bw, ipc, lcm, maxLen := pharmacy.PaperParams()
+	return Options{Params: advantage.Params{BWSeq: bw, IPC: ipc, MemLat: lcm, MaxLen: maxLen}}
+}
+
+func paperForest() *slice.Forest {
+	ps := pharmacy.PaperTree()
+	f := slice.NewForest()
+	f.Trees[9] = ps.Tree
+	f.DCtrig = ps.DCtrig
+	f.Insts = 1300
+	f.Loads = 240
+	f.L2Misses = 40
+	return f
+}
+
+func TestSelectTreePicksFAndJ(t *testing.T) {
+	ps := pharmacy.PaperTree()
+	sel := SelectTree(ps.Tree, ps.DCtrig, paperOpts())
+	if len(sel) != 2 {
+		t.Fatalf("selected %d p-threads, want 2 (paper's F and J)", len(sel))
+	}
+	for _, s := range sel {
+		if s.trigger().PC != 11 {
+			t.Errorf("trigger PC = %d, want 11", s.trigger().PC)
+		}
+		if s.trigger().Depth != 5 {
+			t.Errorf("trigger depth = %d, want 5", s.trigger().Depth)
+		}
+	}
+	// F and J are on different branches: no overlap, no reductions.
+	// F: 177.5 (paper's 177); J: LT 7 in our model -> 70 - 62.5 = 7.5.
+	wantADV := map[int64]float64{30: 177.5, 10: 7.5}
+	for _, s := range sel {
+		want, ok := wantADV[s.score.DCptcm]
+		if !ok {
+			t.Fatalf("unexpected DCptcm %d", s.score.DCptcm)
+		}
+		if math.Abs(s.adjusted-want) > 1e-9 {
+			t.Errorf("DCptcm %d adjusted ADV = %v, want %v", s.score.DCptcm, s.adjusted, want)
+		}
+	}
+}
+
+func TestSelectTreeNoOverlapBetweenFinalSelections(t *testing.T) {
+	ps := pharmacy.PaperTree()
+	sel := SelectTree(ps.Tree, ps.DCtrig, paperOpts())
+	for i, a := range sel {
+		for j, b := range sel {
+			if i != j && a.isAncestorOf(b) && a.adjusted <= 0 {
+				t.Error("an overlapping ancestor with non-positive adjusted advantage survived")
+			}
+		}
+	}
+}
+
+// overlapTree builds a single-branch tree where a shallow candidate and a
+// deep candidate would both look attractive in isolation; the iteration must
+// account for the double-counted tolerance.
+func overlapTree() (*slice.Tree, map[int]int64) {
+	mkInst := func(pc int) isa.Inst {
+		return isa.Inst{Op: isa.ADDI, Rd: 5, Rs1: 5, Imm: 8}
+	}
+	node := func(pc, depth int, dcptcm, dist int64, dep0 int) *slice.Node {
+		return &slice.Node{
+			PC: pc, Op: mkInst(pc), Depth: depth,
+			DCptcm: dcptcm, SumDist: dist * dcptcm,
+			DepPos: [2]int{dep0, slice.NoDep}, MemDepPos: slice.NoDep,
+		}
+	}
+	root := &slice.Node{PC: 1, Op: isa.Inst{Op: isa.LD, Rd: 2, Rs1: 5}, Depth: 0,
+		DCptcm: 100, DepPos: [2]int{1, slice.NoDep}, MemDepPos: slice.NoDep}
+	// Two leaves: a short branch covering all 100 misses weakly, and a long
+	// one covering 60 strongly.
+	n1 := node(10, 1, 100, 12, 2)
+	n2a := node(11, 2, 60, 24, 3)
+	n2b := node(12, 2, 40, 24, 3)
+	n3 := node(11, 3, 60, 36, 4)
+	root.Children = []*slice.Node{n1}
+	n1.Children = []*slice.Node{n2a, n2b}
+	n2a.Children = []*slice.Node{n3}
+	tree := &slice.Tree{RootPC: 1, Misses: 100, Root: root}
+	dctrig := map[int]int64{1: 120, 10: 120, 11: 120, 12: 60}
+	return tree, dctrig
+}
+
+func TestSelectTreeConverges(t *testing.T) {
+	tree, dctrig := overlapTree()
+	opts := paperOpts()
+	opts.Params.MemLat = 20
+	sel := SelectTree(tree, dctrig, opts)
+	if len(sel) == 0 {
+		t.Fatal("nothing selected")
+	}
+	// Every survivor must carry positive adjusted advantage.
+	for _, s := range sel {
+		if s.adjusted <= 0 {
+			t.Errorf("selected p-thread with non-positive adjusted ADV %v", s.adjusted)
+		}
+	}
+	// Total accounted advantage must not exceed the naive sum (reduction
+	// only subtracts).
+	var naive, adj float64
+	for _, s := range sel {
+		naive += s.score.ADVagg
+		adj += s.adjusted
+	}
+	if adj > naive+1e-9 {
+		t.Errorf("adjusted total %v exceeds naive %v", adj, naive)
+	}
+}
+
+func TestSelectForestPThreads(t *testing.T) {
+	res := SelectForest(paperForest(), paperOpts())
+	if len(res.PThreads) != 2 {
+		t.Fatalf("forest selection = %d p-threads, want 2", len(res.PThreads))
+	}
+	for _, pt := range res.PThreads {
+		if pt.TriggerPC != 11 || pt.Size() != 5 {
+			t.Errorf("p-thread = trigger %d size %d, want 11/5", pt.TriggerPC, pt.Size())
+		}
+		if pt.Roots[0] != 9 {
+			t.Errorf("root = %v, want 9", pt.Roots)
+		}
+		if pt.Body[len(pt.Body)-1].Inst.Op != isa.LD {
+			t.Error("body must end in the problem load")
+		}
+	}
+}
+
+func TestSelectForestPrediction(t *testing.T) {
+	res := SelectForest(paperForest(), paperOpts())
+	p := res.Pred
+	if p.PThreads != 2 {
+		t.Errorf("PThreads = %d, want 2", p.PThreads)
+	}
+	// Both p-threads trigger on #11 (100 launches each, unmerged).
+	if p.Launches != 200 {
+		t.Errorf("Launches = %d, want 200", p.Launches)
+	}
+	if p.MissesCovered != 40 {
+		t.Errorf("MissesCovered = %d, want 40 (30 + 10)", p.MissesCovered)
+	}
+	// F fully covers (8 cycles); J covers 7 of 8 in our model.
+	if p.MissesFullCov != 30 {
+		t.Errorf("MissesFullCov = %d, want 30", p.MissesFullCov)
+	}
+	if p.InstsPerPThread != 5 {
+		t.Errorf("InstsPerPThread = %v, want 5", p.InstsPerPThread)
+	}
+	wantADV := 177.5 + 7.5
+	if math.Abs(p.ADVagg-wantADV) > 1e-9 {
+		t.Errorf("ADVagg = %v, want %v", p.ADVagg, wantADV)
+	}
+}
+
+func TestSelectForestWithMerging(t *testing.T) {
+	opts := paperOpts()
+	opts.Merge = true
+	res := SelectForest(paperForest(), opts)
+	if len(res.PThreads) != 1 {
+		t.Fatalf("merged selection = %d p-threads, want 1", len(res.PThreads))
+	}
+	m := res.PThreads[0]
+	if m.Size() != 9 {
+		t.Errorf("merged size = %d, want 9 (5 + 4 shared-prefix)", m.Size())
+	}
+	if m.DCtrig != 100 {
+		t.Errorf("merged launches = %d, want 100", m.DCtrig)
+	}
+	if m.DCptcm != 40 {
+		t.Errorf("merged coverage = %d, want 40", m.DCptcm)
+	}
+	// Merging reduces overhead: net advantage must beat the unmerged sum.
+	unmerged := SelectForest(paperForest(), paperOpts())
+	if m.ADVagg <= unmerged.Pred.ADVagg {
+		t.Errorf("merged ADV %v should exceed unmerged %v", m.ADVagg, unmerged.Pred.ADVagg)
+	}
+}
+
+func TestSelectRegionsStampsRegions(t *testing.T) {
+	ps1 := pharmacy.PaperTree()
+	ps2 := pharmacy.PaperTree()
+	mkForest := func(ps pharmacy.PaperStats) *slice.Forest {
+		f := slice.NewForest()
+		f.Trees[9] = ps.Tree
+		f.DCtrig = ps.DCtrig
+		return f
+	}
+	regions := []slice.Region{
+		{Start: 0, End: 1000, Forest: mkForest(ps1)},
+		{Start: 1000, End: 2000, Forest: mkForest(ps2)},
+	}
+	res := SelectRegions(regions, paperOpts())
+	if len(res.PThreads) != 4 {
+		t.Fatalf("regions selection = %d p-threads, want 4 (2 per region)", len(res.PThreads))
+	}
+	for _, pt := range res.PThreads {
+		if pt.RegionEnd == 0 {
+			t.Error("region gating not stamped")
+		}
+		if pt.ActiveAt(pt.RegionStart-1) && pt.RegionStart > 0 {
+			t.Error("p-thread active outside its region")
+		}
+	}
+}
+
+func TestSelectRegionsSingleRegionUnrestricted(t *testing.T) {
+	f := paperForest()
+	res := SelectRegions([]slice.Region{{Start: 0, End: 1300, Forest: f}}, paperOpts())
+	for _, pt := range res.PThreads {
+		if !pt.ActiveAt(99999999) {
+			t.Error("single-region p-threads must be usable on any sample")
+		}
+	}
+}
+
+func TestSelectEmptyForest(t *testing.T) {
+	res := SelectForest(slice.NewForest(), paperOpts())
+	if len(res.PThreads) != 0 || res.Pred.PThreads != 0 {
+		t.Error("empty forest should select nothing")
+	}
+}
+
+func TestTightLengthConstraintSelectsNothing(t *testing.T) {
+	opts := paperOpts()
+	opts.Params.MaxLen = 2 // candidates 1-2 have negative advantage
+	res := SelectForest(paperForest(), opts)
+	if len(res.PThreads) != 0 {
+		t.Errorf("with MaxLen 2 nothing is profitable, got %d p-threads", len(res.PThreads))
+	}
+}
+
+func TestPredictIPC(t *testing.T) {
+	pred := Prediction{ADVagg: 300}
+	// base: 1300 insts at IPC 1 = 1300 cycles; saving 300 -> 1000 cycles.
+	got := PredictIPC(pred, 1300, 1, 8)
+	if math.Abs(got-1.3) > 1e-9 {
+		t.Errorf("PredictIPC = %v, want 1.3", got)
+	}
+	if PredictIPC(pred, 0, 1, 8) != 0 || PredictIPC(pred, 100, 0, 8) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+	// Savings can never drive the forecast past the sequencing width.
+	if PredictIPC(Prediction{ADVagg: 1e12}, 100, 1, 8) != 8 {
+		t.Error("width bound violated")
+	}
+}
+
+func TestHigherMemLatSelectsLongerPThreads(t *testing.T) {
+	// The paper's Figure 8 response: raising Lcm produces longer p-threads.
+	short := paperOpts()
+	long := paperOpts()
+	long.Params.MemLat = 16
+	long.Params.MaxLen = 8
+	sShort := SelectForest(paperForest(), short)
+	sLong := SelectForest(paperForest(), long)
+	if len(sShort.PThreads) == 0 || len(sLong.PThreads) == 0 {
+		t.Fatal("both configurations should select p-threads")
+	}
+	if sLong.Pred.InstsPerPThread <= sShort.Pred.InstsPerPThread {
+		t.Errorf("longer latency should select longer p-threads: %v vs %v",
+			sLong.Pred.InstsPerPThread, sShort.Pred.InstsPerPThread)
+	}
+}

@@ -1,0 +1,23 @@
+package slice
+
+import (
+	"testing"
+
+	"preexec/internal/workload"
+)
+
+// BenchmarkProfile measures the functional profiler (trace + caches +
+// backward slicing + slice-tree construction) on a miss-heavy workload.
+func BenchmarkProfile(b *testing.B) {
+	w, err := workload.ByName("vpr.r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProfileWhole(p, ProfileOptions{MaxInsts: 50_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

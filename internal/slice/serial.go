@@ -1,0 +1,68 @@
+package slice
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// forestFile is the on-disk representation: maps with int keys are encoded
+// as JSON objects with stringified keys by encoding/json, which is fine, but
+// we wrap with a version tag so future format changes are detectable.
+type forestFile struct {
+	Version int     `json:"version"`
+	Forest  *Forest `json:"forest"`
+}
+
+const forestVersion = 1
+
+// Save writes the forest to path as JSON. This is the "slice tree file" of
+// the paper's tool flow (§4.1): the functional simulator writes it out, the
+// selection tool reads it back with different parameters.
+func (f *Forest) Save(path string) error {
+	data, err := json.MarshalIndent(forestFile{Version: forestVersion, Forest: f}, "", " ")
+	if err != nil {
+		return fmt.Errorf("slice: marshal forest: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a forest written by Save.
+func Load(path string) (*Forest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slice: read forest: %w", err)
+	}
+	var ff forestFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("slice: parse forest %s: %w", path, err)
+	}
+	if ff.Version != forestVersion {
+		return nil, fmt.Errorf("slice: forest %s has version %d, want %d", path, ff.Version, forestVersion)
+	}
+	if ff.Forest == nil {
+		return nil, fmt.Errorf("slice: forest %s is empty", path)
+	}
+	if ff.Forest.Trees == nil {
+		ff.Forest.Trees = map[int]*Tree{}
+	}
+	if ff.Forest.DCtrig == nil {
+		ff.Forest.DCtrig = map[int]int64{}
+	}
+	// Restore the Depth fields' consistency (defensive; Depth is serialized
+	// but a hand-edited file may disagree with structure).
+	for _, t := range ff.Forest.Trees {
+		fixDepths(t.Root, 0)
+	}
+	return ff.Forest, nil
+}
+
+func fixDepths(n *Node, d int) {
+	if n == nil {
+		return
+	}
+	n.Depth = d
+	for _, c := range n.Children {
+		fixDepths(c, d+1)
+	}
+}

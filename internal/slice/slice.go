@@ -1,0 +1,117 @@
+// Package slice implements dynamic backward slicing of cache-miss loads and
+// the slice tree, the paper's data structure for compactly representing the
+// space of all candidate static p-threads for a static problem load (§3.2).
+package slice
+
+import (
+	"sort"
+
+	"preexec/internal/isa"
+	"preexec/internal/trace"
+)
+
+// NoDep marks a source operand with no producer inside the slice (a live-in
+// seeded from the main thread at launch).
+const NoDep = -1
+
+// Inst is one instruction of a backward slice. Position 0 is the problem
+// load itself; increasing positions move backward in dynamic execution
+// order (deeper in the slice tree).
+type Inst struct {
+	PC int
+	Op isa.Inst
+	// Dist is the dynamic main-thread distance (in instructions) from this
+	// instruction to the problem load: root.Seq - this.Seq. The SCDH model
+	// derives main-thread sequencing constraints from it.
+	Dist int64
+	// DepPos[i] is the slice position of the producer of register source i,
+	// or NoDep. For loads, a memory dependence on an in-slice store is
+	// reported through MemDepPos.
+	DepPos    [2]int
+	MemDepPos int
+}
+
+// Slicer extracts backward slices from a Tracker's window.
+type Slicer struct {
+	// MaxLen bounds the number of instructions in a slice (the paper's
+	// maximum p-thread length; default configuration uses 32).
+	MaxLen int
+}
+
+// Backward builds the dynamic backward data-dependence slice of the given
+// miss entry. The slice includes the load itself at position 0 and follows
+// register producers and (for loads) store producers, bounded by the
+// tracker's scope window and by MaxLen instructions. The returned slice is
+// ordered by decreasing Seq (equivalently, increasing Dist).
+//
+// Slices follow dataflow only — control instructions never appear because
+// they produce no register values the computation consumes (JAL link values
+// are followed like any dataflow, but workload miss computations do not use
+// them). This realizes the paper's control-less p-thread model.
+func (s *Slicer) Backward(tr *trace.Tracker, miss *trace.Entry) []Inst {
+	maxLen := s.MaxLen
+	if maxLen <= 0 {
+		maxLen = 32
+	}
+	// Collect the slice's dynamic instructions by walking producers
+	// breadth-first in decreasing-Seq order. A max-heap keyed by Seq ensures
+	// we always expand the latest unprocessed instruction first, so the
+	// MaxLen cutoff keeps the instructions nearest the miss — the ones that
+	// form the shortest candidate p-threads.
+	inSlice := map[int64]*trace.Entry{miss.Seq: miss}
+	heap := []int64{miss.Seq}
+	pop := func() int64 {
+		sort.Slice(heap, func(i, j int) bool { return heap[i] > heap[j] })
+		v := heap[0]
+		heap = heap[1:]
+		return v
+	}
+	var ordered []*trace.Entry
+	for len(heap) > 0 && len(ordered) < maxLen {
+		seq := pop()
+		ent := inSlice[seq]
+		ordered = append(ordered, ent)
+		expand := func(prodSeq int64) {
+			if prodSeq == trace.NoProducer {
+				return
+			}
+			if _, seen := inSlice[prodSeq]; seen {
+				return
+			}
+			prod, ok := tr.Get(prodSeq)
+			if !ok {
+				return // outside the slicing scope: live-in
+			}
+			inSlice[prodSeq] = prod
+			heap = append(heap, prodSeq)
+		}
+		expand(ent.SrcProd[0])
+		expand(ent.SrcProd[1])
+		expand(ent.MemProd)
+	}
+	// ordered is in decreasing Seq already (max-heap pop order).
+	pos := make(map[int64]int, len(ordered))
+	for i, ent := range ordered {
+		pos[ent.Seq] = i
+	}
+	out := make([]Inst, len(ordered))
+	for i, ent := range ordered {
+		si := Inst{
+			PC:        ent.PC,
+			Op:        ent.Inst,
+			Dist:      miss.Seq - ent.Seq,
+			DepPos:    [2]int{NoDep, NoDep},
+			MemDepPos: NoDep,
+		}
+		for k := 0; k < 2; k++ {
+			if p, ok := pos[ent.SrcProd[k]]; ok && ent.SrcProd[k] != trace.NoProducer {
+				si.DepPos[k] = p
+			}
+		}
+		if p, ok := pos[ent.MemProd]; ok && ent.MemProd != trace.NoProducer {
+			si.MemDepPos = p
+		}
+		out[i] = si
+	}
+	return out
+}

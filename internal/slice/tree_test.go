@@ -1,0 +1,181 @@
+package slice
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"preexec/internal/isa"
+)
+
+// mkSlice builds a synthetic slice with the given PCs (position 0 = root)
+// and unit-spaced distances.
+func mkSlice(pcs ...int) []Inst {
+	sl := make([]Inst, len(pcs))
+	for i, pc := range pcs {
+		sl[i] = Inst{
+			PC: pc, Op: isa.Inst{Op: isa.ADDI}, Dist: int64(i),
+			DepPos: [2]int{NoDep, NoDep}, MemDepPos: NoDep,
+		}
+	}
+	sl[0].Op = isa.Inst{Op: isa.LD}
+	return sl
+}
+
+func TestTreeInsertSharedPrefix(t *testing.T) {
+	// Two computations share the suffix near the load (paper Figure 3):
+	// [9 8 7 4 11] and [9 8 7 6 11] share nodes for 8 and 7.
+	tr := NewTree(9, isa.Inst{Op: isa.LD})
+	for i := 0; i < 3; i++ {
+		tr.Insert(mkSlice(9, 8, 7, 4, 11))
+	}
+	tr.Insert(mkSlice(9, 8, 7, 6, 11))
+	if tr.Misses != 4 {
+		t.Errorf("misses = %d, want 4", tr.Misses)
+	}
+	if tr.Root.DCptcm != 4 {
+		t.Errorf("root DCptcm = %d, want 4", tr.Root.DCptcm)
+	}
+	n8 := tr.Root.child(8)
+	if n8 == nil || n8.DCptcm != 4 {
+		t.Fatalf("node 8 missing or DCptcm wrong: %+v", n8)
+	}
+	n7 := n8.child(7)
+	if n7 == nil || n7.DCptcm != 4 {
+		t.Fatalf("node 7 missing or DCptcm wrong: %+v", n7)
+	}
+	if len(n7.Children) != 2 {
+		t.Fatalf("node 7 children = %d, want 2 (divergence point)", len(n7.Children))
+	}
+	n4, n6 := n7.child(4), n7.child(6)
+	if n4 == nil || n4.DCptcm != 3 {
+		t.Errorf("node 4 DCptcm = %v, want 3", n4)
+	}
+	if n6 == nil || n6.DCptcm != 1 {
+		t.Errorf("node 6 DCptcm = %v, want 1", n6)
+	}
+}
+
+func TestTreeParentChildInvariant(t *testing.T) {
+	tr := NewTree(9, isa.Inst{Op: isa.LD})
+	tr.Insert(mkSlice(9, 8, 7, 4))
+	tr.Insert(mkSlice(9, 8, 7, 6))
+	tr.Insert(mkSlice(9, 8)) // a slice that ends early
+	if err := tr.CheckInvariant(); err != nil {
+		t.Errorf("invariant violated: %v", err)
+	}
+}
+
+func TestTreeInvariantDetectsCorruption(t *testing.T) {
+	tr := NewTree(9, isa.Inst{Op: isa.LD})
+	tr.Insert(mkSlice(9, 8))
+	tr.Root.child(8).DCptcm = 99 // corrupt
+	if err := tr.CheckInvariant(); err == nil {
+		t.Error("invariant check should detect child count exceeding parent")
+	}
+}
+
+func TestTreeDepths(t *testing.T) {
+	tr := NewTree(9, isa.Inst{Op: isa.LD})
+	tr.Insert(mkSlice(9, 8, 7))
+	tr.Walk(func(path []*Node) {
+		n := path[len(path)-1]
+		if n.Depth != len(path)-1 {
+			t.Errorf("node pc=%d depth=%d but path length %d", n.PC, n.Depth, len(path))
+		}
+	})
+}
+
+func TestTreeAvgDist(t *testing.T) {
+	tr := NewTree(9, isa.Inst{Op: isa.LD})
+	s1 := mkSlice(9, 8)
+	s1[1].Dist = 2
+	s2 := mkSlice(9, 8)
+	s2[1].Dist = 4
+	tr.Insert(s1)
+	tr.Insert(s2)
+	if got := tr.Root.child(8).AvgDist(); got != 3 {
+		t.Errorf("avg dist = %v, want 3", got)
+	}
+}
+
+func TestTreeRejectsForeignSlice(t *testing.T) {
+	tr := NewTree(9, isa.Inst{Op: isa.LD})
+	tr.Insert(mkSlice(7, 6)) // wrong root
+	if tr.Misses != 0 {
+		t.Error("foreign slice must be rejected")
+	}
+	tr.Insert(nil)
+	if tr.Misses != 0 {
+		t.Error("empty slice must be rejected")
+	}
+}
+
+func TestTreeNodesAndString(t *testing.T) {
+	tr := NewTree(9, isa.Inst{Op: isa.LD})
+	tr.Insert(mkSlice(9, 8, 7, 4))
+	tr.Insert(mkSlice(9, 8, 7, 6))
+	if got := tr.Nodes(); got != 5 {
+		t.Errorf("nodes = %d, want 5", got)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "#09") || !strings.Contains(s, "#04") || !strings.Contains(s, "#06") {
+		t.Errorf("tree listing missing nodes:\n%s", s)
+	}
+}
+
+func TestForestTreeForAndRoots(t *testing.T) {
+	f := NewForest()
+	t9 := f.TreeFor(9, isa.Inst{Op: isa.LD})
+	if f.TreeFor(9, isa.Inst{Op: isa.LD}) != t9 {
+		t.Error("TreeFor must return the same tree for the same root")
+	}
+	f.TreeFor(3, isa.Inst{Op: isa.LD})
+	roots := f.SortedRoots()
+	if len(roots) != 2 || roots[0] != 3 || roots[1] != 9 {
+		t.Errorf("roots = %v, want [3 9]", roots)
+	}
+}
+
+func TestForestSaveLoad(t *testing.T) {
+	f := NewForest()
+	tr := f.TreeFor(9, isa.Inst{Op: isa.LD, Rd: 8, Rs1: 7})
+	tr.Insert(mkSlice(9, 8, 7, 4, 11))
+	tr.Insert(mkSlice(9, 8, 7, 6, 11))
+	f.DCtrig[9] = 80
+	f.DCtrig[11] = 100
+	f.Insts = 1300
+	f.Loads = 400
+	f.L2Misses = 2
+
+	path := filepath.Join(t.TempDir(), "forest.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Insts != 1300 || g.Loads != 400 || g.L2Misses != 2 {
+		t.Errorf("summary fields lost: %+v", g)
+	}
+	if g.DCtrig[11] != 100 {
+		t.Errorf("DCtrig lost: %v", g.DCtrig)
+	}
+	gt := g.Trees[9]
+	if gt == nil {
+		t.Fatal("tree 9 lost")
+	}
+	if gt.Nodes() != tr.Nodes() {
+		t.Errorf("node count %d != %d", gt.Nodes(), tr.Nodes())
+	}
+	if err := gt.CheckInvariant(); err != nil {
+		t.Errorf("loaded tree violates invariant: %v", err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}

@@ -1,0 +1,131 @@
+// Package stats provides small numeric and table-formatting helpers shared
+// by the experiment drivers and command-line tools.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pct returns 100*num/den, or 0 when den is 0.
+func Pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Speedup returns the percent speedup of new over base ((new/base - 1)*100).
+func Speedup(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (new/base - 1) * 100
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMeanSpeedup aggregates percent speedups the way architecture papers do:
+// the geometric mean of the ratios, reported back as a percentage.
+func GeoMeanSpeedup(pcts []float64) float64 {
+	if len(pcts) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, p := range pcts {
+		prod *= 1 + p/100
+	}
+	// n-th root via exponentiation by logarithm would pull in math; a
+	// simple Newton iteration suffices for the small n we use.
+	return (nthRoot(prod, len(pcts)) - 1) * 100
+}
+
+func nthRoot(x float64, n int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 64; i++ {
+		gPow := 1.0
+		for k := 0; k < n-1; k++ {
+			gPow *= g
+		}
+		next := ((float64(n)-1)*g + x/gPow) / float64(n)
+		if diff := next - g; diff < 1e-12 && diff > -1e-12 {
+			return next
+		}
+		g = next
+	}
+	return g
+}
+
+// Table accumulates aligned rows for terminal output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v, floats with 2 decimals.
+func (t *Table) Row(cells ...interface{}) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

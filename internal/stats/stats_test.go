@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPct(t *testing.T) {
+	if Pct(1, 4) != 25 {
+		t.Errorf("Pct(1,4) = %v", Pct(1, 4))
+	}
+	if Pct(3, 0) != 0 {
+		t.Error("Pct with zero denominator should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2.0, 2.5); math.Abs(got-25) > 1e-9 {
+		t.Errorf("Speedup = %v, want 25", got)
+	}
+	if got := Speedup(2.0, 1.0); math.Abs(got+50) > 1e-9 {
+		t.Errorf("Speedup = %v, want -50", got)
+	}
+	if Speedup(0, 1) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	// Symmetric +100% and -50% cancel geometrically.
+	got := GeoMeanSpeedup([]float64{100, -50})
+	if math.Abs(got) > 1e-6 {
+		t.Errorf("GeoMeanSpeedup = %v, want 0", got)
+	}
+	one := GeoMeanSpeedup([]float64{10})
+	if math.Abs(one-10) > 1e-6 {
+		t.Errorf("GeoMeanSpeedup single = %v, want 10", one)
+	}
+	if GeoMeanSpeedup(nil) != 0 {
+		t.Error("empty should be 0")
+	}
+}
+
+func TestNthRoot(t *testing.T) {
+	if got := nthRoot(8, 3); math.Abs(got-2) > 1e-9 {
+		t.Errorf("nthRoot(8,3) = %v, want 2", got)
+	}
+	if got := nthRoot(1, 5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("nthRoot(1,5) = %v, want 1", got)
+	}
+	if nthRoot(-1, 2) != 0 {
+		t.Error("negative input should yield 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "ipc")
+	tb.Row("bzip2", 3.134)
+	tb.Row("mcf", 0.29)
+	s := tb.String()
+	if !strings.Contains(s, "bzip2") || !strings.Contains(s, "3.13") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table should have 4 lines, got %d:\n%s", len(lines), s)
+	}
+	// Alignment: all lines equal length or less (last column unpadded rows
+	// may differ); at least the header/separator match.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator misaligned:\n%s", s)
+	}
+}

@@ -1,0 +1,44 @@
+package timing
+
+import (
+	"testing"
+
+	"preexec/internal/workload"
+)
+
+// BenchmarkSimulatorThroughput measures the cycle-level simulator's speed
+// on a memory-bound workload (reported as ns per simulated run of 50k
+// instructions).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := workload.ByName("vpr.r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(1)
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 50_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorALU measures best-case (cache-resident, predictable)
+// simulation speed.
+func BenchmarkSimulatorALU(b *testing.B) {
+	w, err := workload.ByName("crafty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(1)
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 50_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

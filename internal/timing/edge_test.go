@@ -1,0 +1,131 @@
+package timing
+
+import (
+	"testing"
+
+	"preexec/internal/program"
+	"preexec/internal/pthread"
+	"preexec/internal/workload"
+)
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	w, _ := workload.ByName("vpr.p")
+	p := w.Build(1)
+	cfg := smallCfg(50_000)
+	cfg.WarmInsts = 40_000
+	st, err := Run(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up and measurement boundaries land on retire-group edges, so the
+	// measured count can wobble by up to one machine width on each side.
+	if st.Retired < 50_000-16 || st.Retired > 50_000+16 {
+		t.Errorf("measured retired = %d, want ~50000 (warm-up excluded)", st.Retired)
+	}
+	// A cold run of the same window length must see more misses than the
+	// warmed one sees compulsory misses... at minimum, stats must be
+	// self-consistent.
+	if st.Cycles <= 0 || st.IPC <= 0 {
+		t.Errorf("inconsistent measured stats: %+v", st)
+	}
+}
+
+func TestTinyBackendStillCorrect(t *testing.T) {
+	// A 1-wide, 4-entry machine must still retire everything, just slowly.
+	b := program.NewBuilder("tiny")
+	for i := 0; i < 100; i++ {
+		b.Addi(1, 1, 1)
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Width = 1
+	cfg.ROB = 4
+	cfg.RS = 4
+	st, err := Run(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != 101 {
+		t.Errorf("retired = %d, want 101", st.Retired)
+	}
+	if st.IPC > 1 {
+		t.Errorf("1-wide IPC = %.2f, cannot exceed 1", st.IPC)
+	}
+}
+
+func TestSmallStoreQueueDoesNotDeadlock(t *testing.T) {
+	b := program.NewBuilder("stores")
+	base := b.Alloc(64)
+	b.Li(1, base)
+	for i := 0; i < 200; i++ {
+		b.St(1, 1, int64((i%64)*8))
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.StoreQueue = 2
+	st, err := Run(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != 202 {
+		t.Errorf("retired = %d, want 202", st.Retired)
+	}
+}
+
+func TestStoreToLoadForwardingFasterThanMemory(t *testing.T) {
+	// A store immediately followed by a load of the same address must be
+	// served by forwarding, far faster than an L2 miss.
+	mk := func(sameAddr bool) *program.Program {
+		b := program.NewBuilder("fwd")
+		base := b.Alloc(1 << 16)
+		b.Li(1, base).Li(2, 7).Li(3, 0).Li(4, 2000)
+		b.Label("loop").
+			Bge(3, 4, "exit").
+			St(2, 1, 0).
+			Ld(5, 1, 0). // forwarded
+			Add(2, 2, 5)
+		if sameAddr {
+			b.Addi(1, 1, 0)
+		} else {
+			b.Addi(1, 1, 512) // stride past the line: loads miss
+		}
+		b.Addi(3, 3, 1).J("loop")
+		b.Label("exit").Halt()
+		return b.MustBuild()
+	}
+	fwd, err := Run(mk(true), nil, smallCfg(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.L2Misses > 5 {
+		t.Errorf("forwarded loads should not miss: %d misses", fwd.L2Misses)
+	}
+}
+
+func TestEmptyPThreadBodyIsHarmless(t *testing.T) {
+	// A degenerate p-thread with an empty body must not wedge the machine
+	// or distort statistics.
+	w, _ := workload.ByName("crafty")
+	p := w.Build(1)
+	pt := &pthread.PThread{TriggerPC: 10, Roots: []int{10}}
+	cfg := smallCfg(30_000)
+	cfg.Mode = ModeNormal
+	st, err := Run(p, []*pthread.PThread{pt}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired < 30_000 || st.Retired > 30_000+16 {
+		t.Errorf("retired = %d, want ~30000", st.Retired)
+	}
+	if st.PtInsts != 0 {
+		t.Errorf("empty bodies injected %d instructions", st.PtInsts)
+	}
+}

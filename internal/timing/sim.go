@@ -1,0 +1,475 @@
+package timing
+
+import (
+	"fmt"
+
+	"preexec/internal/branch"
+	"preexec/internal/cpu"
+	"preexec/internal/isa"
+	"preexec/internal/program"
+	"preexec/internal/pthread"
+)
+
+// uop is one in-flight instruction (main-thread or p-thread).
+type uop struct {
+	seq     int64 // main-thread dynamic index; -1 for p-thread uops
+	pc      int
+	inst    isa.Inst
+	effAddr int64
+
+	prod     [3]*uop // register (0,1) and memory/extra (2) producers
+	readyMin int64   // earliest issue cycle from non-uop inputs (live-ins)
+
+	availC  int64 // cycle the front end delivers it to rename
+	renamed bool
+	issued  bool
+	compC   int64
+	retired bool
+
+	isPt    bool
+	fwdHit  bool // load satisfied by store-queue / p-thread store buffer
+	mispred bool
+}
+
+func (u *uop) isLoad() bool  { return u.inst.Op == isa.LD }
+func (u *uop) isStore() bool { return u.inst.Op == isa.ST }
+
+// ptContext is one of the additional SMT contexts p-threads run in.
+type ptContext struct {
+	pending []*uop // body uops not yet injected
+	burstAt int64  // next injection cycle
+}
+
+func (c *ptContext) busy() bool { return len(c.pending) > 0 }
+
+// Sim is a single timing simulation.
+type Sim struct {
+	cfg    Config
+	prog   *program.Program
+	oracle *cpu.State
+	pred   *branch.Predictor
+	mem    *memsys
+	stats  Stats
+
+	cycle int64
+
+	// Front end.
+	fetchQ       []*uop
+	fetchBlocker *uop // mispredicted branch stalling fetch
+	fetchDone    bool
+
+	// Rename state.
+	regProd [isa.NumRegs]*uop
+
+	// Backend.
+	rob    []*uop // main-thread program order, renamed, not yet retired
+	window []*uop // renamed, not yet issued (main + pt)
+	storeQ []*uop // renamed, unretired stores (for forwarding)
+
+	// Pre-execution.
+	triggers map[int][]*pthread.PThread
+	ctxs     []*ptContext
+}
+
+// New prepares a simulation of prog with the given static p-threads (ignored
+// in ModeBase).
+func New(prog *program.Program, pts []*pthread.PThread, cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	s := &Sim{
+		cfg:      cfg,
+		prog:     prog,
+		oracle:   cpu.New(prog),
+		pred:     branch.New(branch.DefaultConfig()),
+		triggers: make(map[int][]*pthread.PThread),
+		ctxs:     make([]*ptContext, cfg.PtContexts),
+	}
+	s.mem = newMemsys(cfg, &s.stats)
+	for i := range s.ctxs {
+		s.ctxs[i] = &ptContext{}
+	}
+	if cfg.Mode != ModeBase {
+		for _, pt := range pts {
+			s.triggers[pt.TriggerPC] = append(s.triggers[pt.TriggerPC], pt)
+		}
+	}
+	return s
+}
+
+// Run simulates to completion and returns the statistics.
+func Run(prog *program.Program, pts []*pthread.PThread, cfg Config) (Stats, error) {
+	return New(prog, pts, cfg).Run()
+}
+
+// Run executes the simulation loop.
+func (s *Sim) Run() (Stats, error) {
+	total := s.cfg.WarmInsts + s.cfg.MaxInsts
+	if total < 0 { // overflow of the "unbounded" default
+		total = s.cfg.MaxInsts
+	}
+	guard := total*64 + 1_000_000 // deadlock/livelock backstop
+	var warm Stats
+	var warmCycle int64
+	warmed := s.cfg.WarmInsts == 0
+	for {
+		s.retire()
+		s.issue()
+		s.rename()
+		s.fetch()
+		s.cycle++
+		if !warmed && s.stats.Retired >= s.cfg.WarmInsts {
+			warm = s.stats
+			warmCycle = s.cycle
+			warmed = true
+		}
+		if s.stats.Retired >= total {
+			break
+		}
+		if s.fetchDone && len(s.fetchQ) == 0 && len(s.rob) == 0 {
+			break
+		}
+		if s.cycle > guard {
+			return s.stats, fmt.Errorf("timing: no forward progress after %d cycles (%s)", s.cycle, s.prog.Name)
+		}
+	}
+	st := subStats(s.stats, warm)
+	st.Cycles = s.cycle - warmCycle
+	if st.Cycles > 0 {
+		st.IPC = float64(st.Retired) / float64(st.Cycles)
+	}
+	if st.Launches > 0 {
+		st.AvgPtLen = float64(st.PtInsts) / float64(st.Launches)
+	}
+	return st, nil
+}
+
+// subStats returns the measured-region statistics: totals minus the warm-up
+// snapshot.
+func subStats(total, warm Stats) Stats {
+	return Stats{
+		Retired:           total.Retired - warm.Retired,
+		Launches:          total.Launches - warm.Launches,
+		Drops:             total.Drops - warm.Drops,
+		PtInsts:           total.PtInsts - warm.PtInsts,
+		Loads:             total.Loads - warm.Loads,
+		L2Misses:          total.L2Misses - warm.L2Misses,
+		MissesCovered:     total.MissesCovered - warm.MissesCovered,
+		MissesFullCovered: total.MissesFullCovered - warm.MissesFullCovered,
+		BrLookups:         total.BrLookups - warm.BrLookups,
+		BrMispred:         total.BrMispred - warm.BrMispred,
+		FetchStalls:       total.FetchStalls - warm.FetchStalls,
+	}
+}
+
+// fetch advances the functional oracle up to Width instructions, consulting
+// the branch predictor; a misprediction blocks fetch until the branch
+// resolves plus the redirect penalty.
+func (s *Sim) fetch() {
+	if s.fetchDone {
+		return
+	}
+	if s.fetchBlocker != nil {
+		b := s.fetchBlocker
+		if !b.issued || s.cycle < b.compC+int64(s.cfg.RedirectPenalty) {
+			s.stats.FetchStalls++
+			return
+		}
+		s.fetchBlocker = nil
+	}
+	if len(s.fetchQ) >= 2*s.cfg.Width {
+		return // front-end buffer full
+	}
+	for n := 0; n < s.cfg.Width; n++ {
+		if s.oracle.Halted {
+			s.fetchDone = true
+			return
+		}
+		e, err := s.oracle.Step()
+		if err != nil {
+			s.fetchDone = true
+			return
+		}
+		u := &uop{
+			seq: e.Seq, pc: e.PC, inst: e.Inst, effAddr: e.EffAddr,
+			availC: s.cycle + int64(s.cfg.FrontEndDepth),
+		}
+		s.fetchQ = append(s.fetchQ, u)
+		switch isa.ClassOf(e.Inst.Op) {
+		case isa.ClassBranch:
+			s.stats.BrLookups++
+			_, correct := s.pred.PredictAndTrain(e.PC, e.Taken)
+			if !correct {
+				s.stats.BrMispred++
+				u.mispred = true
+				s.fetchBlocker = u
+				return
+			}
+			if e.Taken {
+				return // fetch break on taken branch
+			}
+		case isa.ClassJump:
+			if e.Inst.Op == isa.JR {
+				// Indirect: needs the BTB for its target.
+				if s.pred.BTBLookup(e.PC) != e.NextPC {
+					s.stats.BrMispred++
+					u.mispred = true
+					s.fetchBlocker = u
+					s.pred.BTBInsert(e.PC, e.NextPC)
+					return
+				}
+			}
+			return // fetch break on taken control
+		case isa.ClassHalt:
+			s.fetchDone = true
+			return
+		}
+	}
+}
+
+// rename moves instructions from the front end into the backend, injects
+// p-thread bursts (stealing sequencing slots), and launches p-threads when
+// triggers rename.
+func (s *Sim) rename() {
+	budget := s.cfg.Width
+
+	// P-thread injection first: bursts preempt main-thread slots. Injection
+	// is throttled when the shared reservation stations back up, leaving
+	// headroom for the main thread (ICOUNT-style SMT fairness): without
+	// this, long p-thread bodies full of cache misses would park in the RS
+	// and starve the main thread outright.
+	rsHeadroom := s.cfg.RS - 2*s.cfg.Width
+	for _, ctx := range s.ctxs {
+		if !ctx.busy() || s.cycle < ctx.burstAt {
+			continue
+		}
+		if !s.cfg.NoRSThrottle && s.cfg.Mode != ModeOverheadSequence && s.rsUsed() >= rsHeadroom {
+			continue // retry next cycle
+		}
+		n := s.cfg.PtBurst
+		if n > len(ctx.pending) {
+			n = len(ctx.pending)
+		}
+		if s.cfg.Mode != ModeLatencyOnly {
+			if n > budget {
+				n = budget
+			}
+			budget -= n
+		}
+		if n == 0 {
+			continue
+		}
+		for _, u := range ctx.pending[:n] {
+			s.stats.PtInsts++
+			if s.cfg.Mode == ModeOverheadSequence {
+				continue // sequenced and immediately discarded
+			}
+			u.renamed = true
+			u.availC = s.cycle
+			s.window = append(s.window, u)
+		}
+		ctx.pending = ctx.pending[n:]
+		ctx.burstAt = s.cycle + int64(s.cfg.PtBurst)
+	}
+
+	// Main thread.
+	for budget > 0 && len(s.fetchQ) > 0 {
+		u := s.fetchQ[0]
+		if u.availC > s.cycle || len(s.rob) >= s.cfg.ROB || s.rsUsed() >= s.cfg.RS {
+			return
+		}
+		if u.isStore() && len(s.storeQ) >= s.cfg.StoreQueue {
+			return
+		}
+		s.fetchQ = s.fetchQ[1:]
+		budget--
+		u.renamed = true
+		// Resolve producers from the rename table.
+		srcs, ns := u.inst.Sources()
+		for i := 0; i < ns; i++ {
+			if srcs[i] != isa.Zero {
+				if p := s.regProd[srcs[i]]; p != nil && !p.retired {
+					u.prod[i] = p
+				}
+			}
+		}
+		if u.inst.HasDest() {
+			s.regProd[u.inst.Rd] = u
+		}
+		if u.isStore() {
+			s.storeQ = append(s.storeQ, u)
+		}
+		s.rob = append(s.rob, u)
+		s.window = append(s.window, u)
+		if pts := s.triggers[u.pc]; pts != nil {
+			s.launch(pts, u)
+		}
+	}
+}
+
+func (s *Sim) rsUsed() int {
+	n := 0
+	for _, u := range s.window {
+		if !u.issued {
+			n++
+		}
+	}
+	return n
+}
+
+// launch starts dynamic instances of the static p-threads triggered by u.
+func (s *Sim) launch(pts []*pthread.PThread, trigger *uop) {
+	for _, pt := range pts {
+		if !pt.ActiveAt(trigger.seq) {
+			continue
+		}
+		var ctx *ptContext
+		for _, c := range s.ctxs {
+			if !c.busy() {
+				ctx = c
+				break
+			}
+		}
+		if ctx == nil {
+			s.stats.Drops++
+			continue
+		}
+		s.stats.Launches++
+		if s.cfg.Mode == ModeOverheadSequence {
+			// Bodies are discarded at injection; only sizes matter.
+			ctx.pending = make([]*uop, pt.Size())
+			for i := range ctx.pending {
+				ctx.pending[i] = &uop{seq: -1, isPt: true, inst: pt.Body[i].Inst}
+			}
+			ctx.burstAt = s.cycle + 1
+			continue
+		}
+		// Execute the body functionally against the current architectural
+		// state to learn its effective addresses.
+		regs := make([]int64, isa.PtRegs)
+		copy(regs[:isa.NumRegs], s.oracle.Regs[:])
+		res := cpu.ExecBody(pt.Insts(), regs, s.oracle.Mem)
+		uops := make([]*uop, len(pt.Body))
+		for i, bi := range pt.Body {
+			pu := &uop{seq: -1, isPt: true, inst: bi.Inst, effAddr: res.EffAddrs[i], readyMin: s.cycle}
+			for k := 0; k < 2; k++ {
+				switch d := bi.Dep[k]; {
+				case d >= 0:
+					pu.prod[k] = uops[d]
+				case d == pthread.DepTrigger:
+					pu.prod[k] = trigger
+				}
+			}
+			if bi.MemDep >= 0 {
+				pu.prod[2] = uops[bi.MemDep]
+			}
+			pu.fwdHit = res.FromStoreBuf[i]
+			uops[i] = pu
+		}
+		ctx.pending = uops
+		ctx.burstAt = s.cycle + 1
+	}
+}
+
+// issue selects up to Width ready instructions (oldest first) and computes
+// their completion times, including memory access.
+func (s *Sim) issue() {
+	slots := s.cfg.Width
+	kept := s.window[:0]
+	for _, u := range s.window {
+		if u.issued {
+			continue
+		}
+		if slots == 0 || !s.ready(u) {
+			kept = append(kept, u)
+			continue
+		}
+		slots--
+		u.issued = true
+		u.compC = s.complete(u)
+	}
+	s.window = kept
+}
+
+// ready reports whether all of u's inputs are available this cycle.
+func (s *Sim) ready(u *uop) bool {
+	if u.readyMin > s.cycle {
+		return false
+	}
+	for _, p := range u.prod {
+		if p == nil {
+			continue
+		}
+		if !p.issued || p.compC > s.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// complete computes u's completion cycle given that it issues now.
+func (s *Sim) complete(u *uop) int64 {
+	now := s.cycle
+	switch isa.ClassOf(u.inst.Op) {
+	case isa.ClassLoad:
+		t := now + int64(s.cfg.AgenLat)
+		if u.isPt {
+			if u.fwdHit {
+				return t + int64(s.cfg.ForwardLat)
+			}
+			if s.cfg.Mode == ModeOverheadExecute {
+				// Execute but do not access the data cache (§4.3).
+				return t + int64(s.cfg.L2Lat)
+			}
+			return s.mem.ptLoad(u.effAddr, t)
+		}
+		s.stats.Loads++
+		if s.forwardFrom(u) {
+			u.fwdHit = true
+			return t + int64(s.cfg.ForwardLat)
+		}
+		return s.mem.mainLoad(u.effAddr, t)
+	case isa.ClassStore:
+		return now + int64(s.cfg.AgenLat)
+	case isa.ClassMul:
+		return now + int64(isa.Latency(u.inst.Op))
+	default:
+		return now + 1
+	}
+}
+
+// forwardFrom reports whether an older in-flight store to the same word can
+// forward to the load.
+func (s *Sim) forwardFrom(ld *uop) bool {
+	for i := len(s.storeQ) - 1; i >= 0; i-- {
+		st := s.storeQ[i]
+		if st.seq < ld.seq && st.issued && st.effAddr&^7 == ld.effAddr&^7 {
+			return true
+		}
+	}
+	return false
+}
+
+// retire commits up to Width completed instructions in program order;
+// retiring stores update the memory system.
+func (s *Sim) retire() {
+	n := 0
+	for n < s.cfg.Width && len(s.rob) > 0 {
+		u := s.rob[0]
+		if !u.issued || u.compC > s.cycle {
+			return
+		}
+		u.retired = true
+		s.rob = s.rob[1:]
+		if u.isStore() {
+			s.mem.mainStore(u.effAddr, s.cycle)
+			// Remove from the store queue.
+			for i, st := range s.storeQ {
+				if st == u {
+					s.storeQ = append(s.storeQ[:i], s.storeQ[i+1:]...)
+					break
+				}
+			}
+		}
+		s.stats.Retired++
+		n++
+	}
+}

@@ -1,0 +1,349 @@
+package timing
+
+import (
+	"testing"
+
+	"preexec/internal/advantage"
+	"preexec/internal/isa"
+	"preexec/internal/program"
+	"preexec/internal/pthread"
+	"preexec/internal/selector"
+	"preexec/internal/slice"
+	"preexec/internal/workload"
+)
+
+func smallCfg(maxInsts int64) Config {
+	cfg := DefaultConfig()
+	cfg.MaxInsts = maxInsts
+	return cfg
+}
+
+func buildLinear(t *testing.T, n int) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("linear")
+	for i := 0; i < n; i++ {
+		b.Addi(1, 1, 1)
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBaseLinearChainIPC(t *testing.T) {
+	// A serial dependence chain retires ~1 instruction per cycle.
+	st, err := Run(buildLinear(t, 2000), nil, smallCfg(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != 2001 {
+		t.Errorf("retired = %d, want 2001", st.Retired)
+	}
+	if st.IPC < 0.7 || st.IPC > 1.1 {
+		t.Errorf("serial-chain IPC = %.2f, want ~1", st.IPC)
+	}
+}
+
+func TestBaseIndependentOpsIPC(t *testing.T) {
+	// Independent instructions should approach the machine width.
+	b := program.NewBuilder("wide")
+	for i := 0; i < 500; i++ {
+		for r := isa.Reg(1); r <= 6; r++ {
+			b.Addi(2+r, 1, int64(r)) // all read r1, write distinct regs
+		}
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(p, nil, smallCfg(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IPC < 3 {
+		t.Errorf("independent-ops IPC = %.2f, want > 3", st.IPC)
+	}
+}
+
+func TestMemoryLatencyHurts(t *testing.T) {
+	// A pointer chase over an L2-hostile working set must run much slower
+	// than the same instruction count of ALU work.
+	w, _ := workload.ByName("mcf")
+	p := w.Build(1)
+	cfg := smallCfg(100_000)
+	st, err := Run(p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IPC > 0.8 {
+		t.Errorf("mcf IPC = %.2f, want < 0.8 (memory bound)", st.IPC)
+	}
+	if st.L2Misses == 0 {
+		t.Error("mcf produced no L2 misses in timing simulation")
+	}
+}
+
+func TestShorterMemLatHelps(t *testing.T) {
+	w, _ := workload.ByName("vpr.r")
+	p := w.Build(1)
+	slow := smallCfg(80_000)
+	slow.MemLat = 140
+	fast := smallCfg(80_000)
+	fast.MemLat = 35
+	sSlow, err := Run(p, nil, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFast, err := Run(p, nil, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFast.IPC <= sSlow.IPC {
+		t.Errorf("IPC with 35-cycle memory (%.2f) should beat 140-cycle (%.2f)", sFast.IPC, sSlow.IPC)
+	}
+}
+
+func TestBranchMispredictionsCounted(t *testing.T) {
+	// A data-dependent unpredictable branch must show mispredictions.
+	b := program.NewBuilder("br")
+	b.Li(1, 0).Li(2, 12345).Li(3, 5000).Li(6, 0)
+	b.Label("loop").
+		Bge(1, 3, "exit").
+		// xorshift step: low bit is pseudo-random.
+		Srli(4, 2, 7).Xor(2, 2, 4).Slli(4, 2, 9).Xor(2, 2, 4).
+		Andi(5, 2, 1).
+		Beq(5, 0, "skip").
+		Addi(6, 6, 1).
+		Label("skip").
+		Addi(1, 1, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(p, nil, smallCfg(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BrMispred == 0 {
+		t.Error("unpredictable branch produced no mispredictions")
+	}
+	rate := float64(st.BrMispred) / float64(st.BrLookups)
+	if rate < 0.1 {
+		t.Errorf("mispredict rate = %.3f, want >= 0.1 for a random branch", rate)
+	}
+}
+
+// endToEnd profiles a workload, selects p-threads, and returns base and
+// pre-execution stats.
+func endToEnd(t *testing.T, name string, maxInsts int64, mode Mode) (Stats, Stats, []*pthread.PThread) {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := w.Build(1)
+	const warm = 30_000
+	baseCfg := smallCfg(maxInsts)
+	baseCfg.WarmInsts = warm
+	base, err := Run(prog, nil, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := slice.ProfileWhole(prog, slice.ProfileOptions{WarmInsts: warm, MaxInsts: maxInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := advantage.DefaultParams(base.IPC)
+	res := selector.SelectForest(forest, selector.Options{Params: params, Merge: true})
+	cfg := smallCfg(maxInsts)
+	cfg.WarmInsts = warm
+	cfg.Mode = mode
+	pre, err := Run(prog, res.PThreads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, pre, res.PThreads
+}
+
+func TestPreExecutionImprovesVprP(t *testing.T) {
+	base, pre, pts := endToEnd(t, "vpr.p", 120_000, ModeNormal)
+	if len(pts) == 0 {
+		t.Fatal("no p-threads selected for vpr.p")
+	}
+	if pre.Launches == 0 {
+		t.Fatal("no p-threads launched")
+	}
+	if pre.MissesCovered == 0 {
+		t.Fatal("no misses covered")
+	}
+	if pre.IPC <= base.IPC {
+		t.Errorf("pre-execution IPC %.3f should beat base %.3f on vpr.p", pre.IPC, base.IPC)
+	}
+}
+
+func TestPreExecutionImprovesVprR(t *testing.T) {
+	base, pre, _ := endToEnd(t, "vpr.r", 120_000, ModeNormal)
+	if pre.IPC <= base.IPC {
+		t.Errorf("pre-execution IPC %.3f should beat base %.3f on vpr.r", pre.IPC, base.IPC)
+	}
+	if pre.MissesFullCovered == 0 {
+		t.Error("expected some fully covered misses on vpr.r")
+	}
+}
+
+func TestCraftySelectsLittle(t *testing.T) {
+	base, pre, _ := endToEnd(t, "crafty", 120_000, ModeNormal)
+	// crafty has (almost) nothing to cover; pre-execution must not change
+	// performance much in either direction (paper: -1%).
+	ratio := pre.IPC / base.IPC
+	if ratio < 0.93 || ratio > 1.07 {
+		t.Errorf("crafty pre/base IPC ratio = %.3f, want ~1", ratio)
+	}
+}
+
+func TestOverheadModesCostWithoutBenefit(t *testing.T) {
+	base, seq, pts := endToEnd(t, "vpr.p", 100_000, ModeOverheadSequence)
+	if len(pts) == 0 {
+		t.Skip("no p-threads selected")
+	}
+	if seq.MissesCovered != 0 {
+		t.Error("overhead-sequence mode must not cover misses")
+	}
+	if seq.IPC > base.IPC*1.02 {
+		t.Errorf("overhead-only IPC %.3f should not beat base %.3f", seq.IPC, base.IPC)
+	}
+	_, exec, _ := endToEnd(t, "vpr.p", 100_000, ModeOverheadExecute)
+	if exec.MissesCovered != 0 {
+		t.Error("overhead-execute mode must not cover misses")
+	}
+	if exec.PtInsts == 0 || seq.PtInsts == 0 {
+		t.Error("overhead modes must still inject p-thread instructions")
+	}
+}
+
+func TestLatencyOnlyModeAtLeastNormal(t *testing.T) {
+	_, norm, _ := endToEnd(t, "vpr.p", 100_000, ModeNormal)
+	_, lat, _ := endToEnd(t, "vpr.p", 100_000, ModeLatencyOnly)
+	// Not charging sequencing bandwidth can only help.
+	if lat.IPC < norm.IPC*0.97 {
+		t.Errorf("latency-only IPC %.3f should be >= normal %.3f", lat.IPC, norm.IPC)
+	}
+}
+
+func TestModeBaseIgnoresPThreads(t *testing.T) {
+	w, _ := workload.ByName("vpr.p")
+	prog := w.Build(1)
+	pt := &pthread.PThread{TriggerPC: 0, Roots: []int{0}, Body: nil}
+	st, err := Run(prog, []*pthread.PThread{pt}, smallCfg(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Launches != 0 || st.PtInsts != 0 {
+		t.Error("ModeBase must not launch p-threads")
+	}
+}
+
+func TestContextDropsHappenWhenContextsScarce(t *testing.T) {
+	w, _ := workload.ByName("vpr.p")
+	prog := w.Build(1)
+	forest, err := slice.ProfileWhole(prog, slice.ProfileOptions{MaxInsts: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := selector.SelectForest(forest, selector.Options{Params: advantage.DefaultParams(1.5)})
+	if len(res.PThreads) == 0 {
+		t.Skip("nothing selected")
+	}
+	cfg := smallCfg(100_000)
+	cfg.Mode = ModeNormal
+	cfg.PtContexts = 1
+	one, err := Run(prog, res.PThreads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PtContexts = 8
+	many, err := Run(prog, res.PThreads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Drops <= many.Drops {
+		t.Errorf("1-context drops (%d) should exceed 8-context drops (%d)", one.Drops, many.Drops)
+	}
+}
+
+func TestRegionGating(t *testing.T) {
+	w, _ := workload.ByName("vpr.p")
+	prog := w.Build(1)
+	forest, err := slice.ProfileWhole(prog, slice.ProfileOptions{MaxInsts: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := selector.SelectForest(forest, selector.Options{Params: advantage.DefaultParams(1.5)})
+	if len(res.PThreads) == 0 {
+		t.Skip("nothing selected")
+	}
+	// Restrict all p-threads to a window that has already passed: nothing
+	// may launch.
+	for _, pt := range res.PThreads {
+		pt.RegionStart, pt.RegionEnd = 1, 2
+	}
+	cfg := smallCfg(100_000)
+	cfg.Mode = ModeNormal
+	st, err := Run(prog, res.PThreads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Launches > 1 {
+		t.Errorf("region-gated p-threads launched %d times, want <= 1", st.Launches)
+	}
+}
+
+func TestStatsOverheadFrac(t *testing.T) {
+	s := Stats{PtInsts: 50, Retired: 1000}
+	if got := s.OverheadFrac(); got != 0.05 {
+		t.Errorf("OverheadFrac = %v, want 0.05", got)
+	}
+	if (Stats{}).OverheadFrac() != 0 {
+		t.Error("zero stats should have zero overhead")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{
+		ModeBase: "base", ModeNormal: "pre-exec",
+		ModeOverheadExecute:  "overhead-execute",
+		ModeOverheadSequence: "overhead-sequence",
+		ModeLatencyOnly:      "latency-only",
+		Mode(99):             "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestPerfectL2SpeedsUp(t *testing.T) {
+	// Table 1's "Perfect L2 IPC" column: an L2 that always hits must be
+	// faster than the default on a miss-heavy benchmark.
+	w, _ := workload.ByName("vpr.r")
+	prog := w.Build(1)
+	norm, err := Run(prog, nil, smallCfg(80_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := smallCfg(80_000)
+	perfect.MemLat = 1
+	pf, err := Run(prog, nil, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.IPC <= norm.IPC {
+		t.Errorf("perfect-L2 IPC %.3f should beat normal %.3f", pf.IPC, norm.IPC)
+	}
+}

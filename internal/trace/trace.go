@@ -1,0 +1,127 @@
+// Package trace tracks dynamic dataflow during functional execution: for
+// every retired instruction it records which earlier dynamic instruction
+// produced each register source and (for loads) which store produced the
+// loaded value. A sliding window of the most recent entries implements the
+// paper's *slicing scope* — the length of dynamic trace the p-thread
+// constructor is allowed to examine (§4.4, Figure 4).
+package trace
+
+import (
+	"preexec/internal/cpu"
+	"preexec/internal/isa"
+)
+
+// NoProducer marks a source with no in-scope dynamic producer (a live-in).
+const NoProducer int64 = -1
+
+// Entry is one dynamic instruction with resolved dataflow edges.
+type Entry struct {
+	Seq     int64
+	PC      int
+	Inst    isa.Inst
+	EffAddr int64
+	// SrcProd[i] is the Seq of the dynamic producer of source operand i
+	// (as enumerated by Inst.Sources), or NoProducer.
+	SrcProd [2]int64
+	// MemProd is, for loads, the Seq of the store that produced the loaded
+	// word, or NoProducer.
+	MemProd int64
+}
+
+// Tracker converts cpu.Exec records into Entries and retains the most recent
+// Scope of them.
+type Tracker struct {
+	scope    int
+	ring     []Entry
+	n        int64 // total entries observed
+	firstSeq int64 // Seq of the first observed entry
+	lastSeq  int64 // Seq of the most recent entry (absolute numbering)
+	regProd  [isa.NumRegs]int64
+	memProd  map[int64]int64 // word-aligned address -> store Seq
+
+	// DCtrig is the dynamic execution count of every static instruction.
+	// The selection framework reads launch counts from here (paper §3.1).
+	DCtrig map[int]int64
+}
+
+// NewTracker returns a tracker with the given slicing scope (in dynamic
+// instructions).
+func NewTracker(scope int) *Tracker {
+	t := &Tracker{
+		scope:   scope,
+		ring:    make([]Entry, scope),
+		lastSeq: -1,
+		memProd: make(map[int64]int64),
+		DCtrig:  make(map[int]int64),
+	}
+	for i := range t.regProd {
+		t.regProd[i] = NoProducer
+	}
+	return t
+}
+
+// Scope returns the tracker's window size.
+func (t *Tracker) Scope() int { return t.scope }
+
+// Count returns the number of entries observed so far.
+func (t *Tracker) Count() int64 { return t.n }
+
+// Observe records one executed instruction and returns its entry. The
+// returned pointer is valid until the window wraps past it.
+func (t *Tracker) Observe(e cpu.Exec) *Entry {
+	ent := Entry{
+		Seq:     e.Seq,
+		PC:      e.PC,
+		Inst:    e.Inst,
+		EffAddr: e.EffAddr,
+		SrcProd: [2]int64{NoProducer, NoProducer},
+		MemProd: NoProducer,
+	}
+	srcs, ns := e.Inst.Sources()
+	for i := 0; i < ns; i++ {
+		if srcs[i] != isa.Zero {
+			ent.SrcProd[i] = t.regProd[srcs[i]]
+		}
+	}
+	if e.Inst.Op == isa.LD {
+		if seq, ok := t.memProd[e.EffAddr&^7]; ok {
+			ent.MemProd = seq
+		}
+	}
+	// Publish results after sourcing (an instruction never depends on itself).
+	if e.Inst.HasDest() {
+		t.regProd[e.Inst.Rd] = e.Seq
+	}
+	if e.Inst.Op == isa.ST {
+		t.memProd[e.EffAddr&^7] = e.Seq
+	}
+	t.DCtrig[e.PC]++
+	slot := &t.ring[e.Seq%int64(t.scope)]
+	*slot = ent
+	if t.n == 0 {
+		t.firstSeq = e.Seq
+	}
+	t.n++
+	t.lastSeq = e.Seq
+	return slot
+}
+
+// Get returns the entry with the given Seq if it is still inside the window.
+// Seq numbering is absolute (the CPU's dynamic instruction index), so the
+// tracker works even when observation starts mid-run (after a warm-up).
+func (t *Tracker) Get(seq int64) (*Entry, bool) {
+	if t.n == 0 || seq < t.firstSeq || seq > t.lastSeq || t.lastSeq-seq >= int64(t.scope) {
+		return nil, false
+	}
+	ent := &t.ring[seq%int64(t.scope)]
+	if ent.Seq != seq {
+		return nil, false
+	}
+	return ent, true
+}
+
+// InScope reports whether seq is within the current slicing window.
+func (t *Tracker) InScope(seq int64) bool {
+	_, ok := t.Get(seq)
+	return ok
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"testing"
+
+	"preexec/internal/cpu"
+	"preexec/internal/isa"
+)
+
+func exec(seq int64, pc int, in isa.Inst, addr int64) cpu.Exec {
+	return cpu.Exec{Seq: seq, PC: pc, Inst: in, EffAddr: addr}
+}
+
+func TestRegisterProducers(t *testing.T) {
+	tr := NewTracker(16)
+	tr.Observe(exec(0, 0, isa.Inst{Op: isa.LI, Rd: 1}, 0))
+	tr.Observe(exec(1, 1, isa.Inst{Op: isa.LI, Rd: 2}, 0))
+	e := tr.Observe(exec(2, 2, isa.Inst{Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2}, 0))
+	if e.SrcProd[0] != 0 || e.SrcProd[1] != 1 {
+		t.Errorf("producers = %v, want [0 1]", e.SrcProd)
+	}
+}
+
+func TestLatestWriterWins(t *testing.T) {
+	tr := NewTracker(16)
+	tr.Observe(exec(0, 0, isa.Inst{Op: isa.LI, Rd: 1}, 0))
+	tr.Observe(exec(1, 1, isa.Inst{Op: isa.LI, Rd: 1}, 0))
+	e := tr.Observe(exec(2, 2, isa.Inst{Op: isa.MOV, Rd: 2, Rs1: 1}, 0))
+	if e.SrcProd[0] != 1 {
+		t.Errorf("producer = %d, want 1 (latest writer)", e.SrcProd[0])
+	}
+}
+
+func TestR0HasNoProducer(t *testing.T) {
+	tr := NewTracker(16)
+	tr.Observe(exec(0, 0, isa.Inst{Op: isa.LI, Rd: 0}, 0)) // write to R0: discarded
+	e := tr.Observe(exec(1, 1, isa.Inst{Op: isa.ADDI, Rd: 1, Rs1: 0}, 0))
+	if e.SrcProd[0] != NoProducer {
+		t.Errorf("R0 producer = %d, want NoProducer", e.SrcProd[0])
+	}
+}
+
+func TestNoSelfDependence(t *testing.T) {
+	tr := NewTracker(16)
+	tr.Observe(exec(0, 0, isa.Inst{Op: isa.LI, Rd: 1}, 0))
+	e := tr.Observe(exec(1, 1, isa.Inst{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 1}, 0))
+	if e.SrcProd[0] != 0 {
+		t.Errorf("producer = %d, want 0 (previous writer, not self)", e.SrcProd[0])
+	}
+}
+
+func TestMemoryDependence(t *testing.T) {
+	tr := NewTracker(16)
+	tr.Observe(exec(0, 0, isa.Inst{Op: isa.ST, Rs1: 1, Rs2: 2}, 0x100))
+	e := tr.Observe(exec(1, 1, isa.Inst{Op: isa.LD, Rd: 3, Rs1: 1}, 0x100))
+	if e.MemProd != 0 {
+		t.Errorf("MemProd = %d, want 0", e.MemProd)
+	}
+	// Different address: no dependence.
+	e2 := tr.Observe(exec(2, 2, isa.Inst{Op: isa.LD, Rd: 3, Rs1: 1}, 0x108))
+	if e2.MemProd != NoProducer {
+		t.Errorf("MemProd = %d, want NoProducer", e2.MemProd)
+	}
+	// Same word, different byte offset: still a dependence.
+	tr.Observe(exec(3, 3, isa.Inst{Op: isa.ST, Rs1: 1, Rs2: 2}, 0x200))
+	e3 := tr.Observe(exec(4, 4, isa.Inst{Op: isa.LD, Rd: 3, Rs1: 1}, 0x204))
+	if e3.MemProd != 3 {
+		t.Errorf("MemProd = %d, want 3 (word-granular)", e3.MemProd)
+	}
+}
+
+func TestDCtrigCounts(t *testing.T) {
+	tr := NewTracker(16)
+	for i := int64(0); i < 5; i++ {
+		tr.Observe(exec(i, 7, isa.Inst{Op: isa.NOP}, 0))
+	}
+	tr.Observe(exec(5, 8, isa.Inst{Op: isa.NOP}, 0))
+	if tr.DCtrig[7] != 5 || tr.DCtrig[8] != 1 {
+		t.Errorf("DCtrig = %v, want pc7:5 pc8:1", tr.DCtrig)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	tr := NewTracker(4)
+	for i := int64(0); i < 6; i++ {
+		tr.Observe(exec(i, int(i), isa.Inst{Op: isa.NOP}, 0))
+	}
+	if tr.InScope(1) {
+		t.Error("seq 1 should have been evicted from a 4-entry window")
+	}
+	for seq := int64(2); seq < 6; seq++ {
+		if !tr.InScope(seq) {
+			t.Errorf("seq %d should be in scope", seq)
+		}
+	}
+	if tr.InScope(6) {
+		t.Error("future seq should not be in scope")
+	}
+	if tr.InScope(-1) {
+		t.Error("negative seq should not be in scope")
+	}
+}
+
+func TestGetReturnsCorrectEntry(t *testing.T) {
+	tr := NewTracker(8)
+	for i := int64(0); i < 8; i++ {
+		tr.Observe(exec(i, int(i*10), isa.Inst{Op: isa.NOP}, 0))
+	}
+	e, ok := tr.Get(5)
+	if !ok || e.PC != 50 {
+		t.Errorf("Get(5) = %+v,%v want PC 50", e, ok)
+	}
+}
+
+func TestProducerOutsideScopeStillReported(t *testing.T) {
+	// The tracker reports the true producer Seq even if it has been evicted;
+	// it is the slicer's job to treat out-of-scope producers as live-ins.
+	tr := NewTracker(2)
+	tr.Observe(exec(0, 0, isa.Inst{Op: isa.LI, Rd: 1}, 0))
+	tr.Observe(exec(1, 1, isa.Inst{Op: isa.NOP}, 0))
+	tr.Observe(exec(2, 2, isa.Inst{Op: isa.NOP}, 0))
+	e := tr.Observe(exec(3, 3, isa.Inst{Op: isa.MOV, Rd: 2, Rs1: 1}, 0))
+	if e.SrcProd[0] != 0 {
+		t.Errorf("producer = %d, want 0", e.SrcProd[0])
+	}
+	if tr.InScope(0) {
+		t.Error("seq 0 should be out of scope")
+	}
+}
+
+func TestCount(t *testing.T) {
+	tr := NewTracker(4)
+	if tr.Count() != 0 {
+		t.Error("fresh tracker count != 0")
+	}
+	tr.Observe(exec(0, 0, isa.Inst{Op: isa.NOP}, 0))
+	if tr.Count() != 1 {
+		t.Error("count should be 1")
+	}
+}

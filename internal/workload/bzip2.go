@@ -1,0 +1,67 @@
+package workload
+
+import "preexec/internal/program"
+
+// bzip2: a block transform — a sequential sweep over a large source buffer
+// with a data-dependent secondary table access and a sequential write-back.
+// Sequential misses are cheap (one per line); the table access is the
+// problem load with moderate coverage.
+func buildBzip2(srcWords, tblWords, iters int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rSrc  = 3
+		rTbl  = 4
+		rMask = 5
+		rAcc  = 6
+		rT    = 10
+		rX    = 11
+		rU    = 12
+		rY    = 13
+	)
+	b := program.NewBuilder("bzip2")
+	src := b.Alloc(int64(srcWords))
+	tbl := b.Alloc(int64(tblWords))
+	rng := newXorshift(0x627A697032)
+	for i := 0; i < srcWords; i++ {
+		b.SetWord(src+int64(i*8), int64(rng.next()))
+	}
+	for i := 0; i < tblWords; i++ {
+		b.SetWord(tbl+int64(i*8), int64(i%71))
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rSrc, src).
+		Li(rTbl, tbl).
+		Li(rMask, int64(tblWords-1)).
+		Li(rAcc, 0)
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		Slli(rT, rI, 3).
+		Add(rT, rT, rSrc).
+		Ld(rX, rT, 0). // sequential source read
+		And(rU, rX, rMask).
+		Slli(rU, rU, 3).
+		Add(rU, rU, rTbl).
+		Ld(rY, rU, 0). // data-dependent table read: the problem load
+		Add(rAcc, rAcc, rY).
+		St(rAcc, rT, 0). // sequential write-back
+		Addi(rI, rI, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "bzip2",
+		Description: "sequential sweep + data-dependent table (moderate coverage)",
+		Build: func(scale int) *program.Program {
+			// 1MB source (swept once), 512KB table.
+			return buildBzip2(1<<17, 1<<16, 26000*scale)
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildBzip2(1<<14, 1<<13, 8000*scale)
+		},
+	})
+}

@@ -1,0 +1,65 @@
+package workload
+
+import "preexec/internal/program"
+
+// crafty: bit-manipulation over a small (L2-resident) table — the paper's
+// example of a benchmark pre-execution cannot help: with almost no L2
+// misses there is nothing to tolerate, and any selected p-thread is pure
+// overhead (the paper measures a 1% slowdown).
+func buildCrafty(tblWords, iters int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rTbl  = 3
+		rMask = 4
+		rS    = 5
+		rAcc  = 6
+		rT    = 10
+		rA    = 11
+		rV    = 12
+		rU    = 13
+	)
+	b := program.NewBuilder("crafty")
+	tbl := b.Alloc(int64(tblWords))
+	rng := newXorshift(0x637261667479)
+	for i := 0; i < tblWords; i++ {
+		b.SetWord(tbl+int64(i*8), int64(rng.next()))
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rTbl, tbl).
+		Li(rMask, int64(tblWords-1)).
+		Li(rS, 0x123456789).
+		Li(rAcc, 0)
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		// Bitboard-style mixing.
+		Srli(rT, rS, 7).
+		Xor(rS, rS, rT).
+		Slli(rT, rS, 9).
+		Xor(rS, rS, rT).
+		And(rU, rS, rMask).
+		Slli(rA, rU, 3).
+		Add(rA, rA, rTbl).
+		Ld(rV, rA, 0). // hits the L2-resident table
+		Xor(rAcc, rAcc, rV).
+		Srli(rT, rV, 3).
+		Add(rAcc, rAcc, rT).
+		Addi(rI, rI, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "crafty",
+		Description: "L2-resident bit manipulation (pre-execution cannot help)",
+		Build: func(scale int) *program.Program {
+			return buildCrafty(1<<13, 24000*scale) // 64KB table
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildCrafty(1<<12, 8000*scale)
+		},
+	})
+}

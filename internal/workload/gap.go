@@ -1,0 +1,69 @@
+package workload
+
+import "preexec/internal/program"
+
+// gap: strided reductions — a sequential stream multiplied against a
+// strided stream whose stride defeats both the L1 and the L2. The strided
+// address is register-computable, so coverage is decent.
+func buildGap(seqWords, strideWords, iters int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rSeq  = 3
+		rStr  = 4
+		rMask = 5
+		rAcc  = 6
+		rSt   = 7
+		rT    = 10
+		rA    = 11
+		rB    = 12
+		rM    = 13
+		rIdx  = 14
+	)
+	b := program.NewBuilder("gap")
+	seq := b.Alloc(int64(seqWords))
+	str := b.Alloc(int64(strideWords))
+	for i := 0; i < seqWords; i++ {
+		b.SetWord(seq+int64(i*8), int64(i%61+1))
+	}
+	for i := 0; i < strideWords; i++ {
+		b.SetWord(str+int64(i*8), int64(i%59+1))
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rSeq, seq).
+		Li(rStr, str).
+		Li(rMask, int64(strideWords-1)).
+		Li(rAcc, 0).
+		Li(rSt, 17) // stride in words: 136B, a new line almost every step
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		Andi(rT, rI, int64(seqWords-1)).
+		Slli(rT, rT, 3).
+		Add(rT, rT, rSeq).
+		Ld(rA, rT, 0). // sequential stream
+		Mul(rIdx, rI, rSt).
+		And(rIdx, rIdx, rMask).
+		Slli(rIdx, rIdx, 3).
+		Add(rIdx, rIdx, rStr).
+		Ld(rB, rIdx, 0). // strided stream: the problem load
+		Mul(rM, rA, rB).
+		Add(rAcc, rAcc, rM).
+		Addi(rI, rI, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "gap",
+		Description: "strided reduction (register-computable stride)",
+		Build: func(scale int) *program.Program {
+			return buildGap(1<<13, 1<<16, 24000*scale) // 64KB + 512KB
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildGap(1<<12, 1<<13, 8000*scale)
+		},
+	})
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"preexec/internal/program"
+)
+
+// gcc: phase behaviour — three sequential passes, each walking a different
+// large structure with its own hash, like a compiler running successive
+// passes over its IR. Each pass has its own static problem load, so slice
+// trees form at three separate roots and selection must solve three
+// independent sub-problems; a value test after each access couples some
+// branch resolutions to the misses.
+func buildGcc(words, itersPerPass int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rBase = 3
+		rMask = 4
+		rAcc  = 5
+		rK    = 6
+		rT    = 10
+		rA    = 11
+		rV    = 12
+		rC    = 13
+	)
+	b := program.NewBuilder("gcc")
+	rng := newXorshift(0x676363)
+	bases := make([]int64, 3)
+	for p := range bases {
+		bases[p] = b.Alloc(int64(words))
+		for i := 0; i < words; i++ {
+			b.SetWord(bases[p]+int64(i*8), int64(rng.intn(1000)))
+		}
+	}
+	hashes := []int64{40503, 2654435761, 2246822519}
+	b.Li(rAcc, 0)
+	for p := 0; p < 3; p++ {
+		loop := fmt.Sprintf("pass%d", p)
+		next := fmt.Sprintf("pass%dend", p)
+		b.Li(rI, 0).
+			Li(rN, int64(itersPerPass)).
+			Li(rBase, bases[p]).
+			Li(rMask, int64(words-1)).
+			Li(rK, hashes[p])
+		b.Label(loop).
+			Bge(rI, rN, next).
+			Mul(rT, rI, rK).
+			And(rT, rT, rMask).
+			Slli(rA, rT, 3).
+			Add(rA, rA, rBase).
+			Ld(rV, rA, 0). // this pass's problem load
+			Add(rAcc, rAcc, rV).
+			Addi(rI, rI, 1).
+			Andi(rC, rV, 7).
+			Bne(rC, 0, loop). // value test: data-dependent
+			Xori(rAcc, rAcc, 3).
+			J(loop)
+		b.Label(next)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "gcc",
+		Description: "three sequential passes, one problem load each (phase behaviour)",
+		Build: func(scale int) *program.Program {
+			return buildGcc(1<<16, 9000*scale) // 3 passes x 512KB
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildGcc(1<<12, 2500*scale)
+		},
+	})
+}

@@ -1,0 +1,60 @@
+package workload
+
+import "preexec/internal/program"
+
+// mcf: dependent pointer chasing over a ring of nodes scattered across a
+// working set several times the L2. Every next-pointer load misses, and its
+// address comes from the previous miss — the miss computation IS a chain of
+// misses, so a p-thread cannot reach the miss much before the main thread.
+// The paper reports mcf as its lowest-coverage benchmark (10%).
+func buildMcf(nodes int, iters int) *program.Program {
+	const (
+		rP   = 1 // current node pointer
+		rI   = 2
+		rN   = 3
+		rAcc = 4
+		rV   = 5
+	)
+	b := program.NewBuilder("mcf")
+	base := b.Alloc(int64(nodes * 2)) // node: [nextPtr, value]
+	rng := newXorshift(0x6D6366)      // "mcf"
+	next := rng.cycle(nodes)
+	for i := 0; i < nodes; i++ {
+		addr := base + int64(i*16)
+		b.SetWord(addr, base+int64(next[i]*16))
+		b.SetWord(addr+8, int64(i%251))
+	}
+
+	b.Li(rP, base).
+		Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rAcc, 0)
+	const rC = 6
+	b.Label("loop").
+		Bge(rI, rN, "exit"). // loop bound
+		Ld(rP, rP, 0).       // p = p->next (the problem load)
+		Ld(rV, rP, 8).       // p->value
+		Add(rAcc, rAcc, rV).
+		Addi(rI, rI, 1).
+		// Arc-cost test: data-dependent, as in the real mcf's network
+		// simplex pricing loop.
+		Andi(rC, rV, 3).
+		Bne(rC, 0, "loop").
+		Xori(rAcc, rAcc, 9).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "mcf",
+		Description: "dependent pointer chase; misses feed miss addresses (low coverage)",
+		Build: func(scale int) *program.Program {
+			return buildMcf(1<<16, 30000*scale) // 1MB of nodes
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildMcf(1<<13, 8000*scale) // 128KB: mostly L2-resident
+		},
+	})
+}

@@ -1,0 +1,70 @@
+package workload
+
+import "preexec/internal/program"
+
+// parser: hash-table probing — a register-computed hash picks a bucket
+// (problem load #1); non-empty buckets chain to a node (dependent problem
+// load #2). The bucket test makes branch behaviour data-dependent, and the
+// two-level structure makes part of the miss stream hard to hoist. The
+// paper singles parser out as scope-sensitive.
+func buildParser(buckets, nodes, iters int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rBkt  = 3
+		rMask = 4
+		rAcc  = 5
+		rK    = 6
+		rT    = 10
+		rA    = 11
+		rHead = 12
+		rV    = 13
+	)
+	b := program.NewBuilder("parser")
+	bkt := b.Alloc(int64(buckets))
+	nodeArr := b.Alloc(int64(nodes * 2)) // node: [value, pad]
+	rng := newXorshift(0x706172736572)
+	for i := 0; i < nodes; i++ {
+		b.SetWord(nodeArr+int64(i*16), int64(i%53+1))
+	}
+	for i := 0; i < buckets; i++ {
+		// ~70% of buckets point at a pseudo-random node; the rest are empty.
+		if rng.intn(10) < 7 {
+			b.SetWord(bkt+int64(i*8), nodeArr+int64(rng.intn(nodes)*16))
+		}
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rBkt, bkt).
+		Li(rMask, int64(buckets-1)).
+		Li(rAcc, 0).
+		Li(rK, 2654435761)
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		Mul(rT, rI, rK). // hash the "word"
+		And(rT, rT, rMask).
+		Slli(rA, rT, 3).
+		Add(rA, rA, rBkt).
+		Ld(rHead, rA, 0). // bucket head: problem load #1
+		Beq(rHead, 0, "skip").
+		Ld(rV, rHead, 0). // node payload: dependent problem load #2
+		Add(rAcc, rAcc, rV).
+		Label("skip").
+		Addi(rI, rI, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "parser",
+		Description: "hash-table probe with dependent chain (scope-sensitive)",
+		Build: func(scale int) *program.Program {
+			return buildParser(1<<16, 1<<15, 26000*scale) // 512KB buckets + 512KB nodes
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildParser(1<<13, 1<<12, 8000*scale)
+		},
+	})
+}

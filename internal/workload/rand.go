@@ -1,0 +1,48 @@
+package workload
+
+// xorshift is the deterministic PRNG used to lay out benchmark data. It is
+// not for statistics — only for reproducible, "irregular enough" addresses.
+type xorshift uint64
+
+func newXorshift(seed uint64) *xorshift {
+	x := xorshift(seed*2862933555777941757 + 3037000493)
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// intn returns a value in [0, n).
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// permutation returns a pseudo-random permutation of [0, n) such that
+// following p[i] visits every element in one cycle (a random cyclic
+// permutation, Sattolo's algorithm). Used to build pointer-chase rings with
+// no short cycles.
+func (x *xorshift) cycle(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.intn(i)
+		p[i], p[j] = p[j], p[i]
+	}
+	// p is now a permutation; convert "order" into "successor" links along
+	// the cycle p[0] -> p[1] -> ... -> p[n-1] -> p[0].
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[p[i]] = p[i+1]
+	}
+	next[p[n-1]] = p[0]
+	return next
+}

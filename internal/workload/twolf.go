@@ -1,0 +1,74 @@
+package workload
+
+import "preexec/internal/program"
+
+// twolf: a sparse miss computation — the problem load's address is fully
+// determined ~20 dynamic instructions before the load executes, with an
+// unrelated arithmetic block in between. The backward slice is short but
+// spread out, so small slicing scopes cannot "see" enough of it to unroll
+// the induction (the paper's signature for twolf and parser, §4.4).
+func buildTwolf(words, iters int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rGrid = 3
+		rMask = 4
+		rAcc  = 5
+		rK    = 6
+		rW    = 7 // second accumulator for the filler block
+		rT    = 10
+		rA    = 11
+		rV    = 12
+		rF    = 13
+	)
+	b := program.NewBuilder("twolf")
+	grid := b.Alloc(int64(words))
+	for i := 0; i < words; i++ {
+		b.SetWord(grid+int64(i*8), int64(i%67+1))
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rGrid, grid).
+		Li(rMask, int64(words-1)).
+		Li(rAcc, 0).
+		Li(rW, 0x9E3779B9).
+		Li(rK, 2246822519)
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		// Address computation (the whole slice).
+		Mul(rT, rI, rK).
+		And(rT, rT, rMask).
+		Slli(rA, rT, 3).
+		Add(rA, rA, rGrid)
+	// Filler: 16 ALU instructions that do not feed the load, separating
+	// the address computation from its use in the dynamic stream.
+	for k := 0; k < 8; k++ {
+		b.Xori(rF, rW, int64(k+1))
+		b.Add(rW, rW, rF)
+	}
+	const rC = 14
+	b.Ld(rV, rA, 0). // the problem load, far from its computation
+				Add(rAcc, rAcc, rV).
+				Addi(rI, rI, 1).
+		// Accept/reject test on the loaded cost: data-dependent branch.
+		Andi(rC, rV, 3).
+		Bne(rC, 0, "loop").
+		Xori(rAcc, rAcc, 21).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "twolf",
+		Description: "sparse miss computation (needs a large slicing scope)",
+		Build: func(scale int) *program.Program {
+			return buildTwolf(1<<16, 14000*scale) // 512KB grid, ~24-inst body
+		},
+		BuildTest: func(scale int) *program.Program {
+			// The paper: twolf's test working set fits the L2.
+			return buildTwolf(1<<10, 6000*scale) // 8KB
+		},
+	})
+}

@@ -1,0 +1,80 @@
+package workload
+
+import "preexec/internal/program"
+
+// vortex: object-database traversal through an indirection table, with the
+// object index spilled to a stack slot and reloaded inside the miss
+// computation. The store-load pair makes unoptimized slices long and tall;
+// store-load pair elimination (paper §3.3) collapses them — vortex is the
+// paper's biggest optimization winner.
+func buildVortex(tbl2Words, tbl1Words, iters int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rT2   = 3
+		rT1   = 4
+		rMask = 5
+		rAcc  = 6
+		rSp   = 7
+		rK    = 8
+		rM1   = 9
+		rT    = 10
+		rA    = 11
+		rIdx  = 12
+		rRef  = 13
+		rObj  = 14
+	)
+	b := program.NewBuilder("vortex")
+	tbl2 := b.Alloc(int64(tbl2Words))
+	tbl1 := b.Alloc(int64(tbl1Words))
+	sp := b.Alloc(8)
+	rng := newXorshift(0x766F7274)
+	for i := 0; i < tbl2Words; i++ {
+		b.SetWord(tbl2+int64(i*8), int64(rng.intn(tbl1Words)))
+	}
+	for i := 0; i < tbl1Words; i++ {
+		b.SetWord(tbl1+int64(i*8), int64(i%43+1))
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rT2, tbl2).
+		Li(rT1, tbl1).
+		Li(rMask, int64(tbl2Words-1)).
+		Li(rAcc, 0).
+		Li(rSp, sp).
+		Li(rK, 2654435761).
+		Li(rM1, int64(tbl1Words-1))
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		Mul(rT, rI, rK).
+		And(rIdx, rT, rMask).
+		St(rIdx, rSp, 0).   // spill the index (calling-convention idiom)
+		Xori(rT, rT, 0x3F). // unrelated work between spill and reload
+		Add(rAcc, rAcc, rT).
+		Ld(rIdx, rSp, 0). // reload: store-load pair inside the slice
+		Slli(rA, rIdx, 3).
+		Add(rA, rA, rT2).
+		Ld(rRef, rA, 0). // indirection table: problem load #1
+		And(rRef, rRef, rM1).
+		Slli(rA, rRef, 3).
+		Add(rA, rA, rT1).
+		Ld(rObj, rA, 0). // object: problem load #2
+		Add(rAcc, rAcc, rObj).
+		Addi(rI, rI, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "vortex",
+		Description: "double indirection with spilled index (optimization winner)",
+		Build: func(scale int) *program.Program {
+			return buildVortex(1<<16, 1<<16, 20000*scale) // 512KB + 512KB
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildVortex(1<<13, 1<<13, 7000*scale)
+		},
+	})
+}

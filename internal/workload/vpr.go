@@ -1,0 +1,122 @@
+package workload
+
+import "preexec/internal/program"
+
+// vpr.p (placement): the address of every miss is computed purely in
+// registers from the loop induction variable — the ideal pre-execution
+// target. The paper reports vpr.p as its highest-coverage benchmark (82%).
+func buildVprPlace(words int, iters int) *program.Program {
+	const (
+		rI    = 1
+		rN    = 2
+		rK    = 3
+		rMask = 4
+		rBase = 5
+		rAcc  = 6
+		rT    = 10
+		rA    = 11
+		rV    = 12
+	)
+	b := program.NewBuilder("vpr.p")
+	base := b.Alloc(int64(words))
+	for i := 0; i < words; i++ {
+		b.SetWord(base+int64(i*8), int64(i%89))
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rK, 2654435761).
+		Li(rMask, int64(words-1)).
+		Li(rBase, base).
+		Li(rAcc, 0)
+	const rC = 13
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		Mul(rT, rI, rK). // scatter the index
+		And(rT, rT, rMask).
+		Slli(rA, rT, 3).
+		Add(rA, rA, rBase).
+		Ld(rV, rA, 0). // the problem load
+		Add(rAcc, rAcc, rV).
+		Addi(rI, rI, 1).
+		// A cost test on the loaded value: data-dependent and occasionally
+		// mispredicted, it ties the branch resolution — and therefore the
+		// instruction window — to the miss, as placement cost comparisons
+		// do in the real vpr.
+		Andi(rC, rV, 7).
+		Bne(rC, 0, "loop").
+		Xori(rAcc, rAcc, 85).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+// vpr.r (routing): a graph walk driven by an order[] index array — the
+// index load is sequential (cheap), the node load irregular (misses), and
+// the whole computation hangs off the loop induction: classic induction-
+// unrolling territory.
+func buildVprRoute(nodes int, iters int) *program.Program {
+	const (
+		rI     = 1
+		rN     = 2
+		rOrder = 3
+		rNodes = 4
+		rAcc   = 5
+		rT     = 10
+		rIdx   = 11
+		rA     = 12
+		rV     = 13
+	)
+	b := program.NewBuilder("vpr.r")
+	order := b.Alloc(int64(iters))
+	nodeArr := b.Alloc(int64(nodes))
+	rng := newXorshift(0x7670722E72) // "vpr.r"
+	for i := 0; i < iters; i++ {
+		b.SetWord(order+int64(i*8), int64(rng.intn(nodes)))
+	}
+	for i := 0; i < nodes; i++ {
+		b.SetWord(nodeArr+int64(i*8), int64(i%83))
+	}
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rOrder, order).
+		Li(rNodes, nodeArr).
+		Li(rAcc, 0)
+	b.Label("loop").
+		Bge(rI, rN, "exit").
+		Slli(rT, rI, 3).
+		Add(rT, rT, rOrder).
+		Ld(rIdx, rT, 0). // sequential: usually hits
+		Slli(rA, rIdx, 3).
+		Add(rA, rA, rNodes).
+		Ld(rV, rA, 0). // irregular: the problem load
+		Add(rAcc, rAcc, rV).
+		Addi(rI, rI, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "vpr.p",
+		Description: "register-computed scatter addresses (highest coverage)",
+		Build: func(scale int) *program.Program {
+			return buildVprPlace(1<<16, 30000*scale) // 512KB
+		},
+		BuildTest: func(scale int) *program.Program {
+			// The paper: vpr.p's test working set fits the L2 entirely, so
+			// the static scenario selects no p-threads.
+			return buildVprPlace(1<<10, 8000*scale) // 8KB
+		},
+	})
+	register(Workload{
+		Name:        "vpr.r",
+		Description: "index-array graph walk (induction unrolling)",
+		Build: func(scale int) *program.Program {
+			return buildVprRoute(1<<16, 28000*scale) // 512KB of nodes
+		},
+		BuildTest: func(scale int) *program.Program {
+			return buildVprRoute(1<<14, 8000*scale) // 128KB
+		},
+	})
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"preexec/internal/cache"
+	"preexec/internal/cpu"
+	"preexec/internal/isa"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"bzip2", "crafty", "gap", "gcc", "mcf", "parser", "twolf", "vortex", "vpr.p", "vpr.r"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("suite = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("mcf")
+	if err != nil || w.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", w, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("ByName should fail for unknown benchmarks")
+	}
+}
+
+// runStats functionally executes a program through the default hierarchy.
+type runStats struct {
+	insts, loads, l2miss int64
+}
+
+func run(t *testing.T, w Workload, test bool) runStats {
+	t.Helper()
+	var p = w.Build(1)
+	if test {
+		p = w.BuildTest(1)
+	}
+	st := cpu.New(p)
+	h := cache.DefaultHierarchy()
+	var rs runStats
+	for !st.Halted {
+		e, err := st.Step()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		rs.insts++
+		if rs.insts > 3_000_000 {
+			t.Fatalf("%s: did not halt within 3M instructions", p.Name)
+		}
+		if e.Inst.IsMem() {
+			res := h.Access(e.EffAddr, e.Inst.Op == isa.ST)
+			if e.Inst.Op == isa.LD {
+				rs.loads++
+				if res == cache.MissL2 {
+					rs.l2miss++
+				}
+			}
+		}
+	}
+	return rs
+}
+
+func TestAllWorkloadsTerminate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rs := run(t, w, false)
+			if rs.insts < 50_000 {
+				t.Errorf("%s: only %d instructions; too small to be meaningful", w.Name, rs.insts)
+			}
+			if rs.loads == 0 {
+				t.Errorf("%s: no loads executed", w.Name)
+			}
+		})
+	}
+}
+
+func TestMissProfiles(t *testing.T) {
+	// The suite's purpose is its miss-behaviour spread: crafty must be
+	// nearly miss-free, mcf and vpr.p miss-heavy, everything else nonzero.
+	misses := map[string]int64{}
+	perKI := map[string]float64{}
+	for _, w := range All() {
+		rs := run(t, w, false)
+		misses[w.Name] = rs.l2miss
+		perKI[w.Name] = float64(rs.l2miss) / float64(rs.insts) * 1000
+	}
+	// crafty's 64KB table is L2-resident: only its ~1024 compulsory cold
+	// misses (one per line) may appear.
+	if misses["crafty"] > 1500 {
+		t.Errorf("crafty misses = %d, want ~1024 cold misses only", misses["crafty"])
+	}
+	for _, name := range []string{"mcf", "vpr.p", "vpr.r", "bzip2", "parser", "twolf", "vortex", "gap", "gcc"} {
+		if perKI[name] < 1 {
+			t.Errorf("%s misses/KI = %.2f, want >= 1 (L2-hostile working set)", name, perKI[name])
+		}
+	}
+	if misses["mcf"] < misses["crafty"]*10 {
+		t.Errorf("mcf (%d) should miss far more than crafty (%d)", misses["mcf"], misses["crafty"])
+	}
+}
+
+func TestTestInputsAreSmaller(t *testing.T) {
+	// Figure 7's static scenario: test inputs must be smaller runs, and for
+	// twolf and vpr.p must have working sets that fit the L2 (few misses).
+	for _, w := range All() {
+		train := run(t, w, false)
+		test := run(t, w, true)
+		if test.insts >= train.insts {
+			t.Errorf("%s: test input (%d insts) not smaller than train (%d)", w.Name, test.insts, train.insts)
+		}
+	}
+	for _, name := range []string{"twolf", "vpr.p"} {
+		w, _ := ByName(name)
+		test := run(t, w, true)
+		// 32KB working sets have 512 lines: only compulsory misses allowed.
+		if test.l2miss > 700 {
+			t.Errorf("%s test input misses = %d, want <= ~512 cold misses (fits L2 per the paper)",
+				name, test.l2miss)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range All() {
+		p1 := w.Build(1)
+		p2 := w.Build(1)
+		if len(p1.Insts) != len(p2.Insts) {
+			t.Errorf("%s: non-deterministic instruction count", w.Name)
+			continue
+		}
+		for i := range p1.Insts {
+			if p1.Insts[i] != p2.Insts[i] {
+				t.Errorf("%s: instruction %d differs between builds", w.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestScaleGrowsRun(t *testing.T) {
+	w, _ := ByName("vpr.p")
+	p1 := w.Build(1)
+	p2 := w.Build(2)
+	s1, s2 := cpu.New(p1), cpu.New(p2)
+	n1, err := s1.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := s2.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 < n1*3/2 {
+		t.Errorf("scale 2 run (%d insts) should be ~2x scale 1 (%d)", n2, n1)
+	}
+}
