@@ -1,7 +1,8 @@
 // Package preexec_test holds the benchmark harness: one testing.B target
-// per table and figure in the paper's evaluation (§4). Each benchmark
-// iteration regenerates the complete experiment across the ten-benchmark
-// suite; run a single one with e.g.
+// per table and figure in the paper's evaluation (§4), plus the serial
+// versus worker-pool suite comparison that tracks the concurrent runner's
+// speedup. Each benchmark iteration regenerates the complete experiment
+// across the ten-benchmark suite; run a single one with e.g.
 //
 //	go test -bench=BenchmarkTable2 -benchmem
 //
@@ -11,11 +12,11 @@
 package preexec_test
 
 import (
+	"context"
 	"testing"
 
-	"preexec/internal/core"
+	"preexec"
 	"preexec/internal/experiments"
-	"preexec/internal/workload"
 )
 
 func benchOpts() experiments.Options {
@@ -25,7 +26,7 @@ func benchOpts() experiments.Options {
 // BenchmarkTable1 regenerates the benchmark characterization (paper Table 1).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1(benchOpts()); err != nil {
+		if _, err := experiments.Table1(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -36,7 +37,7 @@ func BenchmarkTable1(b *testing.B) {
 // framework's predictions, per benchmark.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(benchOpts()); err != nil {
+		if _, err := experiments.Table2(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,16 +48,17 @@ func BenchmarkTable2(b *testing.B) {
 // (Figures 1-3 are exercised analytically in the unit tests and
 // examples/pharmacy).
 func BenchmarkFigure2(b *testing.B) {
-	w, err := workload.ByName("vpr.r")
+	w, err := preexec.WorkloadByName("vpr.r")
 	if err != nil {
 		b.Fatal(err)
 	}
 	prog := w.Build(1)
-	cfg := core.DefaultConfig()
-	cfg.WarmInsts, cfg.MeasureInsts = 20_000, 60_000
+	machine := preexec.DefaultMachine()
+	machine.WarmInsts, machine.MeasureInsts = 20_000, 60_000
+	eng := preexec.New(preexec.WithMachine(machine))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Evaluate(prog, cfg); err != nil {
+		if _, err := eng.Evaluate(context.Background(), prog); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +67,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure4 regenerates the slicing-scope x p-thread-length sweep.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure4(benchOpts()); err != nil {
+		if _, err := experiments.Figure4(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,7 +76,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkFigure5 regenerates the optimization & merging comparison.
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(benchOpts()); err != nil {
+		if _, err := experiments.Figure5(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -83,7 +85,7 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkFigure6 regenerates the selection-granularity comparison.
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure6(benchOpts()); err != nil {
+		if _, err := experiments.Figure6(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +95,7 @@ func BenchmarkFigure6(b *testing.B) {
 // (perfect / dynamic / static scenarios).
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure7(benchOpts()); err != nil {
+		if _, err := experiments.Figure7(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +104,7 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates the memory-latency cross-validation.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure8(benchOpts()); err != nil {
+		if _, err := experiments.Figure8(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -111,7 +113,48 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkWidth regenerates the processor-width cross-validation (§4.5).
 func BenchmarkWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Width(benchOpts()); err != nil {
+		if _, err := experiments.Width(context.Background(), benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// suitePrograms builds the full ten-benchmark suite with small windows for
+// the suite-runner benchmarks.
+func suitePrograms(b *testing.B) (*preexec.Engine, []*preexec.Program) {
+	b.Helper()
+	machine := preexec.DefaultMachine()
+	machine.WarmInsts, machine.MeasureInsts = 20_000, 60_000
+	eng := preexec.New(preexec.WithMachine(machine))
+	var progs []*preexec.Program
+	for _, w := range preexec.Workloads() {
+		progs = append(progs, w.Build(1))
+	}
+	return eng, progs
+}
+
+// BenchmarkSuiteSerial evaluates the ten-benchmark suite one workload at a
+// time (Workers: 1) — the baseline for the worker-pool comparison.
+func BenchmarkSuiteSerial(b *testing.B) {
+	eng, progs := suitePrograms(b)
+	s := &preexec.Suite{Engine: eng, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(context.Background(), progs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteParallel evaluates the same suite across the default
+// worker pool (all cores). The wall-clock ratio to BenchmarkSuiteSerial is
+// the concurrent runner's speedup and should approach min(cores, 10).
+func BenchmarkSuiteParallel(b *testing.B) {
+	eng, progs := suitePrograms(b)
+	s := &preexec.Suite{Engine: eng}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(context.Background(), progs...); err != nil {
 			b.Fatal(err)
 		}
 	}

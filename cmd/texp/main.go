@@ -3,44 +3,82 @@
 //
 // Usage:
 //
-//	texp -exp table1|table2|fig4|fig5|fig6|fig7|fig8|width|all \
-//	     [-bench name,name,...] [-scale N] [-warm N] [-measure N]
+//	texp -exp table1|table2|fig4|fig5|fig6|fig7|fig8|width|ablate|suite|all \
+//	     [-bench name,name,...] [-scale N] [-warm N] [-measure N] \
+//	     [-workers N] [-json] [-progress]
 //
 // Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured comparison.
+// EXPERIMENTS.md for the paper-vs-measured comparison. The suite experiment
+// emits the full public preexec.Report per benchmark. Cells are evaluated
+// concurrently across -workers goroutines (default: all cores) with
+// deterministic row ordering; -json switches to machine-readable output and
+// Ctrl-C cancels mid-simulation.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"preexec"
 	"preexec/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 table2 fig4 fig5 fig6 fig7 fig8 width ablate all")
-		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
-		scale   = flag.Int("scale", 1, "workload scale multiplier")
-		warm    = flag.Int64("warm", 30_000, "warm-up instructions")
-		measure = flag.Int64("measure", 120_000, "measured instructions")
+		exp      = flag.String("exp", "all", "experiment: table1 table2 fig4 fig5 fig6 fig7 fig8 width ablate suite all")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
+		scale    = flag.Int("scale", 1, "workload scale multiplier")
+		warm     = flag.Int64("warm", 30_000, "warm-up instructions")
+		measure  = flag.Int64("measure", 120_000, "measured instructions")
+		workers  = flag.Int("workers", 0, "concurrent evaluations (0 = all cores)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		progress = flag.Bool("progress", false, "stream per-cell completion to stderr")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Warm: *warm, Measure: *measure}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{Scale: *scale, Warm: *warm, Measure: *measure, Workers: *workers}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
-	if err := run(*exp, opts); err != nil {
+	if *progress {
+		opts.Progress = func(ev preexec.SuiteEvent) {
+			status := "ok"
+			if ev.Err != nil {
+				status = ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "texp: [%d/%d] %s: %s\n", ev.Done, ev.Total, ev.Name, status)
+		}
+	}
+	if err := run(ctx, *exp, opts, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "texp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts experiments.Options) error {
-	type figFn func(experiments.Options) ([]experiments.FigRow, error)
+// emit prints one experiment's results: an aligned table normally, a JSON
+// document {"experiment": name, "rows": rows} with -json.
+func emit(name string, rows any, table string, jsonOut bool) error {
+	if !jsonOut {
+		fmt.Println(table)
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(struct {
+		Experiment string `json:"experiment"`
+		Rows       any    `json:"rows"`
+	}{name, rows})
+}
+
+func run(ctx context.Context, exp string, opts experiments.Options, jsonOut bool) error {
+	type figFn func(context.Context, experiments.Options) ([]experiments.FigRow, error)
 	figures := []struct {
 		name  string
 		title string
@@ -58,33 +96,60 @@ func run(exp string, opts experiments.Options) error {
 	ran := false
 	if exp == "table1" || exp == "all" {
 		ran = true
-		rows, err := experiments.Table1(opts)
+		rows, err := experiments.Table1(ctx, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Table 1: benchmark characterization")
-		fmt.Println(experiments.FormatTable1(rows))
+		if !jsonOut {
+			fmt.Println("Table 1: benchmark characterization")
+		}
+		if err := emit("table1", rows, experiments.FormatTable1(rows), jsonOut); err != nil {
+			return err
+		}
 	}
 	if exp == "table2" || exp == "all" {
 		ran = true
-		rows, err := experiments.Table2(opts)
+		rows, err := experiments.Table2(ctx, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Println("Table 2: basic results and performance model validation")
-		fmt.Println(experiments.FormatTable2(rows))
+		if !jsonOut {
+			fmt.Println("Table 2: basic results and performance model validation")
+		}
+		if err := emit("table2", rows, experiments.FormatTable2(rows), jsonOut); err != nil {
+			return err
+		}
 	}
 	for _, f := range figures {
 		if exp != f.name && exp != "all" {
 			continue
 		}
 		ran = true
-		rows, err := f.fn(opts)
+		rows, err := f.fn(ctx, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Println(f.title)
-		fmt.Println(experiments.FormatFigRows(rows))
+		if !jsonOut {
+			fmt.Println(f.title)
+		}
+		if err := emit(f.name, rows, experiments.FormatFigRows(rows), jsonOut); err != nil {
+			return err
+		}
+	}
+	if exp == "suite" {
+		ran = true
+		reps, err := experiments.SuiteReports(ctx, opts)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return json.NewEncoder(os.Stdout).Encode(reps)
+		}
+		for _, rep := range reps {
+			fmt.Printf("%-8s base IPC %.3f  pre IPC %.3f  speedup %+6.1f%%  cover %5.1f%% (full %5.1f%%)  pthreads %d\n",
+				rep.Program, rep.Base.IPC, rep.Pre.IPC, rep.SpeedupPct(),
+				rep.CoveragePct(), rep.FullCoveragePct(), len(rep.PThreads))
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

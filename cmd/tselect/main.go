@@ -16,18 +16,15 @@ import (
 	"fmt"
 	"os"
 
-	"preexec/internal/advantage"
-	"preexec/internal/pthread"
-	"preexec/internal/selector"
-	"preexec/internal/slice"
+	"preexec"
 )
 
 func main() {
 	var (
 		forestPath = flag.String("forest", "", "slice-tree file (from tsim -profile)")
 		ipc        = flag.Float64("ipc", 1.0, "unassisted main-thread IPC on the sample")
-		width      = flag.Float64("width", 8, "processor sequencing width")
-		memlat     = flag.Float64("memlat", 70, "miss latency to tolerate (cycles)")
+		width      = flag.Int("width", 8, "processor sequencing width")
+		memlat     = flag.Int("memlat", 70, "miss latency to tolerate (cycles)")
 		maxlen     = flag.Int("maxlen", 32, "maximum p-thread length (instructions)")
 		opt        = flag.Bool("opt", true, "enable p-thread optimization")
 		merge      = flag.Bool("merge", true, "enable p-thread merging")
@@ -39,16 +36,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	forest, err := slice.Load(*forestPath)
+	forest, err := preexec.LoadForest(*forestPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tselect:", err)
 		os.Exit(1)
 	}
-	params := advantage.Params{
-		BWSeq: *width, IPC: *ipc, MemLat: *memlat,
-		MaxLen: *maxlen, Optimize: *opt, LoadLat: 6,
-	}
-	res := selector.SelectForest(forest, selector.Options{Params: params, Merge: *merge})
+	eng := preexec.New(
+		preexec.WithMachine(preexec.MachineConfig{Width: *width, MemLat: *memlat}),
+		preexec.WithSelection(preexec.SelectionConfig{
+			MaxLen: *maxlen, Optimize: *opt, Merge: *merge,
+		}),
+	)
+	res := eng.SelectForest(forest, *ipc)
 	fmt.Printf("sample: %d insts, %d loads, %d L2 misses, %d slice trees\n",
 		forest.Insts, forest.Loads, forest.L2Misses, len(forest.Trees))
 	fmt.Printf("selected %d static p-thread(s)\n\n", len(res.PThreads))
@@ -60,10 +59,10 @@ func main() {
 		p.Launches, p.InstsPerPThread, p.MissesCovered, p.MissesFullCov, p.ADVagg)
 	if forest.Insts > 0 {
 		fmt.Printf("predicted IPC: %.3f (base %.3f)\n",
-			selector.PredictIPC(p, forest.Insts, *ipc, *width), *ipc)
+			preexec.PredictIPC(p, forest.Insts, *ipc, float64(*width)), *ipc)
 	}
 	if *out != "" {
-		if err := pthread.Save(*out, res.PThreads); err != nil {
+		if err := preexec.SavePThreads(*out, res.PThreads); err != nil {
 			fmt.Fprintln(os.Stderr, "tselect:", err)
 			os.Exit(1)
 		}

@@ -10,19 +10,21 @@
 //
 //	tsim -bench vpr.p                 # base machine
 //	tsim -bench vpr.p -preexec        # profile + select + pre-execute
+//	tsim -bench vpr.p -preexec -json  # machine-readable preexec.Report
 //	tsim -bench vpr.p -preexec -mode overhead-sequence
+//
+// Ctrl-C cancels a run mid-simulation.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"preexec/internal/core"
-	"preexec/internal/pthread"
-	"preexec/internal/slice"
-	"preexec/internal/timing"
-	"preexec/internal/workload"
+	"preexec"
 )
 
 func main() {
@@ -38,20 +40,21 @@ func main() {
 		scope   = flag.Int("scope", 1024, "slicing scope (profile mode)")
 		maxlen  = flag.Int("maxlen", 32, "max p-thread length")
 
-		preexec = flag.Bool("preexec", false, "run the full pre-execution pipeline")
-		ptsPath = flag.String("pthreads", "", "simulate a p-thread file written by tselect -o")
-		mode    = flag.String("mode", "pre-exec", "p-thread mode: pre-exec overhead-execute overhead-sequence latency-only")
-		width   = flag.Int("width", 8, "processor width")
-		memlat  = flag.Int("memlat", 70, "memory latency (cycles)")
+		preexecF = flag.Bool("preexec", false, "run the full pre-execution pipeline")
+		ptsPath  = flag.String("pthreads", "", "simulate a p-thread file written by tselect -o")
+		mode     = flag.String("mode", "pre-exec", "p-thread mode: pre-exec overhead-execute overhead-sequence latency-only")
+		width    = flag.Int("width", 8, "processor width")
+		memlat   = flag.Int("memlat", 70, "memory latency (cycles)")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable preexec.Report")
 	)
 	flag.Parse()
 	if *list {
-		for _, w := range workload.All() {
+		for _, w := range preexec.Workloads() {
 			fmt.Printf("%-8s %s\n", w.Name, w.Description)
 		}
 		return
 	}
-	w, err := workload.ByName(*bench)
+	w, err := preexec.WorkloadByName(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsim:", err)
 		os.Exit(2)
@@ -61,14 +64,27 @@ func main() {
 		prog = w.BuildTest(*scale)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := preexec.New(
+		preexec.WithMachine(preexec.MachineConfig{
+			Width: *width, MemLat: *memlat, WarmInsts: *warm, MeasureInsts: *measure,
+		}),
+		preexec.WithSelection(func() preexec.SelectionConfig {
+			s := preexec.DefaultSelection()
+			s.Scope, s.MaxLen = *scope, *maxlen
+			return s
+		}()),
+	)
+
 	if *profile != "" {
-		forest, err := slice.ProfileWhole(prog, slice.ProfileOptions{
-			WarmInsts: *warm, MaxInsts: *measure, Scope: *scope, MaxSlice: *maxlen,
-		})
+		regions, err := eng.Profile(ctx, prog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsim:", err)
 			os.Exit(1)
 		}
+		forest := regions[0].Forest
 		if err := forest.Save(*profile); err != nil {
 			fmt.Fprintln(os.Stderr, "tsim:", err)
 			os.Exit(1)
@@ -78,70 +94,92 @@ func main() {
 		return
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.WarmInsts, cfg.MeasureInsts = *warm, *measure
-	cfg.Scope, cfg.MaxLen = *scope, *maxlen
-	cfg.Width, cfg.MemLat = *width, *memlat
-
 	if *ptsPath != "" {
-		pts, err := pthread.Load(*ptsPath)
+		pts, err := preexec.LoadPThreads(*ptsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsim:", err)
 			os.Exit(1)
 		}
-		st, err := core.RunMode(prog, pts, cfg, parseMode(*mode))
+		st, err := eng.Simulate(ctx, prog, pts, parseMode(*mode))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsim:", err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			// The assisted run belongs in Pre; there is no base run in this
+			// mode, so Base and the derived percentages stay zero.
+			emitJSON(preexec.Report{Program: prog.Name, Config: eng.Config(), Pre: st, PThreads: pts})
+			return
 		}
 		printStats(fmt.Sprintf("%s (%d p-threads from %s)", prog.Name, len(pts), *ptsPath), st)
 		return
 	}
 
-	if !*preexec {
-		st, err := core.RunMode(prog, nil, cfg, timing.ModeBase)
+	if !*preexecF {
+		st, err := eng.Simulate(ctx, prog, nil, preexec.ModeBase)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsim:", err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			emitJSON(preexec.Report{Program: prog.Name, Config: eng.Config(), Base: st, BaseMisses: st.L2Misses})
+			return
 		}
 		printStats(prog.Name+" (base)", st)
 		return
 	}
 
-	rep, err := core.Evaluate(prog, cfg)
+	rep, err := eng.Evaluate(ctx, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsim:", err)
 		os.Exit(1)
 	}
-	printStats(prog.Name+" (base)", rep.Base)
-	if m := parseMode(*mode); m != timing.ModeNormal {
-		st, err := core.RunMode(prog, rep.Selection.PThreads, cfg, m)
+	if m := parseMode(*mode); m != preexec.ModeNormal {
+		st, err := eng.Simulate(ctx, prog, rep.PThreads, m)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsim:", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			rep.Pre = st
+			emitJSON(rep)
+			return
+		}
+		printStats(prog.Name+" (base)", rep.Base)
 		printStats(fmt.Sprintf("%s (%s)", prog.Name, m), st)
 		return
 	}
+	if *jsonOut {
+		emitJSON(rep)
+		return
+	}
+	printStats(prog.Name+" (base)", rep.Base)
 	printStats(prog.Name+" (pre-exec)", rep.Pre)
 	fmt.Printf("p-threads: %d selected, coverage %.1f%% (full %.1f%%), speedup %+.1f%%, predicted IPC %.3f\n",
-		len(rep.Selection.PThreads), rep.CoveragePct(), rep.FullCoveragePct(), rep.SpeedupPct(), rep.PredIPC)
+		len(rep.PThreads), rep.CoveragePct(), rep.FullCoveragePct(), rep.SpeedupPct(), rep.PredIPC)
 }
 
-func parseMode(s string) timing.Mode {
-	switch s {
-	case "overhead-execute":
-		return timing.ModeOverheadExecute
-	case "overhead-sequence":
-		return timing.ModeOverheadSequence
-	case "latency-only":
-		return timing.ModeLatencyOnly
-	default:
-		return timing.ModeNormal
+func emitJSON(rep preexec.Report) {
+	if err := json.NewEncoder(os.Stdout).Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "tsim:", err)
+		os.Exit(1)
 	}
 }
 
-func printStats(title string, st timing.Stats) {
+func parseMode(s string) preexec.Mode {
+	switch s {
+	case "overhead-execute":
+		return preexec.ModeOverheadExecute
+	case "overhead-sequence":
+		return preexec.ModeOverheadSequence
+	case "latency-only":
+		return preexec.ModeLatencyOnly
+	default:
+		return preexec.ModeNormal
+	}
+}
+
+func printStats(title string, st preexec.Stats) {
 	fmt.Printf("%s: IPC %.3f (%d insts, %d cycles), loads %d, L2 misses %d, covered %d (full %d), launches %d (dropped %d), p-thread insts %d, mispredicts %d\n",
 		title, st.IPC, st.Retired, st.Cycles, st.Loads, st.L2Misses,
 		st.MissesCovered, st.MissesFullCovered, st.Launches, st.Drops, st.PtInsts, st.BrMispred)

@@ -1,0 +1,109 @@
+package preexec
+
+import (
+	"preexec/internal/core"
+)
+
+// MachineConfig describes the simulated machine and the run sizing shared by
+// the timing simulator and the selection model. Zero values select the
+// paper's base machine (8-wide, 70-cycle memory) and sampling windows.
+type MachineConfig struct {
+	// Width is the sequencing (fetch/rename/issue/retire) width.
+	Width int `json:"width"`
+	// MemLat is the main-memory latency in cycles.
+	MemLat int `json:"mem_lat"`
+	// WarmInsts is the warm-up window (caches + predictor training only).
+	WarmInsts int64 `json:"warm_insts"`
+	// MeasureInsts is the measured window.
+	MeasureInsts int64 `json:"measure_insts"`
+}
+
+// DefaultMachine returns the paper's base machine configuration.
+func DefaultMachine() MachineConfig {
+	return MachineConfig{Width: 8, MemLat: 70, WarmInsts: 30_000, MeasureInsts: 120_000}
+}
+
+// SelectionConfig describes the p-thread construction and selection
+// parameters (paper §3-§4.1). Zero values select the paper's defaults
+// except the Optimize/Merge switches, which default off in the zero value;
+// DefaultSelection turns both on, matching the paper's base flow.
+type SelectionConfig struct {
+	// Scope is the slicing scope in dynamic instructions.
+	Scope int `json:"scope"`
+	// MaxLen is the maximum p-thread length in instructions.
+	MaxLen int `json:"max_len"`
+	// Optimize enables p-thread optimization (§3.3).
+	Optimize bool `json:"optimize"`
+	// Merge enables p-thread merging (§3.3).
+	Merge bool `json:"merge"`
+	// RegionInsts, if non-zero, selects independently per dynamic region of
+	// this many instructions (§4.4, Figure 6).
+	RegionInsts int64 `json:"region_insts,omitempty"`
+
+	// ProfileOn optionally profiles a different program for selection — a
+	// test input or a short profiling phase (§4.4, Figure 7). Nil selects on
+	// the evaluated program itself.
+	ProfileOn *Program `json:"-"`
+	// ProfileInsts bounds the selection profile (0 = the measured window).
+	ProfileInsts int64 `json:"profile_insts,omitempty"`
+	// MemLat and Width let cross-validation experiments lie to the selector
+	// about the machine (§4.5); 0 means the simulated values.
+	MemLat int `json:"sel_mem_lat,omitempty"`
+	Width  int `json:"sel_width,omitempty"`
+}
+
+// DefaultSelection returns the paper's base selection parameters: scope
+// 1024, length 32, optimization and merging on.
+func DefaultSelection() SelectionConfig {
+	return SelectionConfig{Scope: 1024, MaxLen: 32, Optimize: true, Merge: true}
+}
+
+// AblationConfig holds the reproduction's model-refinement switches (see the
+// "ablate" experiment and DESIGN.md). The zero value is the refined model.
+type AblationConfig struct {
+	// ModelLoadLat overrides the latency the SCDH model charges in-slice
+	// loads (0 = the default L2 hit latency; 1 = the paper's raw
+	// unit-latency model).
+	ModelLoadLat float64 `json:"model_load_lat,omitempty"`
+	// NoRSThrottle disables the simulator's p-thread injection throttle.
+	NoRSThrottle bool `json:"no_rs_throttle,omitempty"`
+}
+
+// Config bundles the three decomposed configuration groups. The zero value
+// is NOT the paper's base flow (Optimize/Merge default off); use
+// DefaultConfig.
+type Config struct {
+	Machine   MachineConfig   `json:"machine"`
+	Selection SelectionConfig `json:"selection"`
+	Ablation  AblationConfig  `json:"ablation"`
+}
+
+// DefaultConfig returns the paper's base evaluation configuration.
+func DefaultConfig() Config {
+	return Config{Machine: DefaultMachine(), Selection: DefaultSelection()}
+}
+
+// core flattens the decomposed configuration onto the internal/core
+// compatibility surface. Zero fields stay zero: core applies the same
+// defaults, keeping Engine results bit-for-bit identical to the legacy path.
+func (c Config) core() core.Config {
+	return core.Config{
+		WarmInsts:    c.Machine.WarmInsts,
+		MeasureInsts: c.Machine.MeasureInsts,
+		Width:        c.Machine.Width,
+		MemLat:       c.Machine.MemLat,
+
+		Scope:        c.Selection.Scope,
+		MaxLen:       c.Selection.MaxLen,
+		Optimize:     c.Selection.Optimize,
+		Merge:        c.Selection.Merge,
+		RegionInsts:  c.Selection.RegionInsts,
+		SelectOn:     c.Selection.ProfileOn,
+		SelectInsts:  c.Selection.ProfileInsts,
+		SelectMemLat: c.Selection.MemLat,
+		SelectWidth:  c.Selection.Width,
+
+		ModelLoadLat: c.Ablation.ModelLoadLat,
+		NoRSThrottle: c.Ablation.NoRSThrottle,
+	}
+}

@@ -1,0 +1,173 @@
+package preexec
+
+import (
+	"context"
+
+	"preexec/internal/core"
+	"preexec/internal/program"
+	"preexec/internal/pthread"
+	"preexec/internal/selector"
+	"preexec/internal/slice"
+	"preexec/internal/timing"
+)
+
+// Profiler is the functional profiling stage: it runs a program through the
+// cache model and builds slice trees for every dynamic L2 load miss.
+type Profiler interface {
+	Profile(ctx context.Context, p *Program, opts ProfileOptions) ([]ProfileRegion, error)
+}
+
+// Selector is the p-thread selection stage: it solves the profiled slice
+// trees for the p-thread set with maximal aggregate advantage. regioned
+// reports whether per-region selection was requested.
+type Selector interface {
+	Select(regions []ProfileRegion, opts SelectorOptions, regioned bool) SelectionResult
+}
+
+// Simulator is the detailed timing stage: it measures a program — with
+// optional p-threads — on the simulated machine.
+type Simulator interface {
+	Simulate(ctx context.Context, p *Program, pts []*PThread, cfg TimingConfig) (Stats, error)
+}
+
+// The reference stage implementations.
+type (
+	sliceProfiler   struct{}
+	treeSelector    struct{}
+	timingSimulator struct{}
+)
+
+func (sliceProfiler) Profile(ctx context.Context, p *Program, opts ProfileOptions) ([]ProfileRegion, error) {
+	return slice.ProfileContext(ctx, p, opts)
+}
+
+func (treeSelector) Select(regions []ProfileRegion, opts SelectorOptions, regioned bool) SelectionResult {
+	if regioned {
+		return selector.SelectRegions(regions, opts)
+	}
+	return selector.SelectForest(regions[0].Forest, opts)
+}
+
+func (timingSimulator) Simulate(ctx context.Context, p *Program, pts []*PThread, cfg TimingConfig) (Stats, error) {
+	return timing.RunContext(ctx, p, pts, cfg)
+}
+
+// Engine runs the pre-execution pipeline. Build one with New; the zero
+// Engine is not usable.
+type Engine struct {
+	cfg       Config
+	profiler  Profiler
+	selector  Selector
+	simulator Simulator
+}
+
+// Option customizes an Engine.
+type Option func(*Engine)
+
+// WithMachine sets the machine configuration.
+func WithMachine(m MachineConfig) Option { return func(e *Engine) { e.cfg.Machine = m } }
+
+// WithSelection sets the selection configuration.
+func WithSelection(s SelectionConfig) Option { return func(e *Engine) { e.cfg.Selection = s } }
+
+// WithAblation sets the ablation switches.
+func WithAblation(a AblationConfig) Option { return func(e *Engine) { e.cfg.Ablation = a } }
+
+// WithConfig sets all three configuration groups at once.
+func WithConfig(c Config) Option { return func(e *Engine) { e.cfg = c } }
+
+// WithProfiler swaps the functional profiling backend.
+func WithProfiler(p Profiler) Option { return func(e *Engine) { e.profiler = p } }
+
+// WithSelector swaps the selection backend.
+func WithSelector(s Selector) Option { return func(e *Engine) { e.selector = s } }
+
+// WithSimulator swaps the timing-simulation backend.
+func WithSimulator(s Simulator) Option { return func(e *Engine) { e.simulator = s } }
+
+// New builds an Engine over the paper's base configuration (DefaultConfig)
+// and the reference stage implementations, then applies the options in
+// order.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		cfg:       DefaultConfig(),
+		profiler:  sliceProfiler{},
+		selector:  treeSelector{},
+		simulator: timingSimulator{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// stages adapts the engine's pluggable backends onto the internal
+// orchestration hooks.
+func (e *Engine) stages() core.Stages {
+	return core.Stages{
+		Profile: func(ctx context.Context, p *program.Program, opts slice.ProfileOptions) ([]slice.Region, error) {
+			return e.profiler.Profile(ctx, p, opts)
+		},
+		Select: func(regions []slice.Region, opts selector.Options, regioned bool) selector.Result {
+			return e.selector.Select(regions, opts, regioned)
+		},
+		Simulate: func(ctx context.Context, p *program.Program, pts []*pthread.PThread, cfg timing.Config) (timing.Stats, error) {
+			return e.simulator.Simulate(ctx, p, pts, cfg)
+		},
+	}
+}
+
+// Evaluate runs the full pipeline on one program: base timing run,
+// selection, and the pre-execution timing run. Cancelling ctx stops the
+// active simulation stage promptly and returns ctx.Err().
+func (e *Engine) Evaluate(ctx context.Context, p *Program) (Report, error) {
+	rep, err := core.EvaluateContext(ctx, p, e.cfg.core(), e.stages())
+	if err != nil {
+		return Report{}, err
+	}
+	return reportFromCore(rep), nil
+}
+
+// Profile runs only the functional profiling stage on p with the engine's
+// selection parameters, returning the slice-tree regions (a single region
+// unless Selection.RegionInsts is set). The forest of the first region is
+// what tsim -profile persists for tselect.
+func (e *Engine) Profile(ctx context.Context, p *Program) ([]ProfileRegion, error) {
+	cfg := e.cfg.core().WithDefaults()
+	return e.profiler.Profile(ctx, p, ProfileOptions{
+		WarmInsts:   cfg.WarmInsts,
+		MaxInsts:    cfg.SelectInsts,
+		Scope:       cfg.Scope,
+		MaxSlice:    cfg.MaxLen,
+		RegionInsts: cfg.RegionInsts,
+	})
+}
+
+// Select runs only the selection half of the pipeline: profile (on
+// Selection.ProfileOn or the program itself) and slice-tree selection.
+// baseIPC is the unassisted main-thread IPC fed to the advantage model; it
+// returns the selection and the profile's observed L2 miss count.
+func (e *Engine) Select(ctx context.Context, p *Program, baseIPC float64) (SelectionResult, int64, error) {
+	return core.SelectContext(ctx, p, baseIPC, e.cfg.core(), e.stages())
+}
+
+// SelectForest applies the engine's selection parameters to an
+// already-profiled forest (the tselect flow: many p-thread sets from one
+// profile).
+func (e *Engine) SelectForest(f *Forest, baseIPC float64) SelectionResult {
+	return e.selector.Select(
+		[]ProfileRegion{{End: f.Insts, Forest: f}},
+		e.cfg.core().SelectorOptions(baseIPC),
+		false,
+	)
+}
+
+// Simulate measures a program with the given p-threads under one of the
+// simulation modes (ModeBase with nil p-threads is the unassisted machine;
+// the overhead/latency modes are the paper's §4.3 validation diagnostics).
+func (e *Engine) Simulate(ctx context.Context, p *Program, pts []*PThread, mode Mode) (Stats, error) {
+	return core.RunModeContext(ctx, p, pts, e.cfg.core(), mode, e.stages())
+}

@@ -1,0 +1,243 @@
+package preexec_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"preexec"
+	"preexec/internal/core"
+)
+
+// testMachine returns the base machine with test-sized windows.
+func testMachine() preexec.MachineConfig {
+	m := preexec.DefaultMachine()
+	m.WarmInsts, m.MeasureInsts = 20_000, 60_000
+	return m
+}
+
+func buildBench(t testing.TB, name string) *preexec.Program {
+	t.Helper()
+	w, err := preexec.WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Build(1)
+}
+
+// TestEngineMatchesCoreGolden asserts the public Engine reproduces the
+// legacy internal/core pipeline bit-for-bit: every statistic, every
+// selected p-thread, every prediction, on two contrasting benchmarks.
+func TestEngineMatchesCoreGolden(t *testing.T) {
+	for _, name := range []string{"vpr.p", "mcf"} {
+		t.Run(name, func(t *testing.T) {
+			prog := buildBench(t, name)
+
+			// The legacy config is built from zero values (not DefaultConfig,
+			// which pre-bakes SelectInsts at the full 120k window) so both
+			// sides derive the selection window from MeasureInsts.
+			legacyCfg := core.Config{
+				Optimize: true, Merge: true,
+				WarmInsts: 20_000, MeasureInsts: 60_000,
+			}
+			want, err := core.Evaluate(prog, legacyCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			eng := preexec.New(preexec.WithMachine(testMachine()))
+			got, err := eng.Evaluate(t.Context(), prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.Base != want.Base {
+				t.Errorf("Base stats diverge:\n got %+v\nwant %+v", got.Base, want.Base)
+			}
+			if got.Pre != want.Pre {
+				t.Errorf("Pre stats diverge:\n got %+v\nwant %+v", got.Pre, want.Pre)
+			}
+			if got.Pred != want.Selection.Pred {
+				t.Errorf("Prediction diverges:\n got %+v\nwant %+v", got.Pred, want.Selection.Pred)
+			}
+			if !reflect.DeepEqual(got.PThreads, want.Selection.PThreads) {
+				t.Errorf("p-threads diverge:\n got %v\nwant %v", got.PThreads, want.Selection.PThreads)
+			}
+			if got.BaseMisses != want.BaseMisses || got.PredIPC != want.PredIPC {
+				t.Errorf("scalars diverge: misses %d/%d predIPC %v/%v",
+					got.BaseMisses, want.BaseMisses, got.PredIPC, want.PredIPC)
+			}
+		})
+	}
+}
+
+// TestEvaluateDeterministic guards the golden test's premise: two runs of
+// the same engine on the same program are identical.
+func TestEvaluateDeterministic(t *testing.T) {
+	prog := buildBench(t, "vpr.r")
+	eng := preexec.New(preexec.WithMachine(testMachine()))
+	a, err := eng.Evaluate(t.Context(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Evaluate(t.Context(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two evaluations of the same program diverge")
+	}
+}
+
+// TestEvaluateCancelled proves an already-cancelled context fails fast with
+// ctx.Err() before any simulation work.
+func TestEvaluateCancelled(t *testing.T) {
+	prog := buildBench(t, "vpr.p")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := preexec.New(preexec.WithMachine(testMachine()))
+	if _, err := eng.Evaluate(ctx, prog); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEvaluateCancelMidRun proves a cancellation arriving mid-simulation
+// returns promptly — the hot loops poll the context every few thousand
+// cycles rather than running the evaluation to completion.
+func TestEvaluateCancelMidRun(t *testing.T) {
+	// A big, slow evaluation: full windows, scaled workload.
+	w, err := preexec.WorkloadByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := w.Build(4)
+	machine := preexec.DefaultMachine()
+	machine.MeasureInsts = 4_000_000
+	eng := preexec.New(preexec.WithMachine(machine))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = eng.Evaluate(ctx, prog)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The full evaluation takes seconds; a prompt cancellation returns in
+	// tens of milliseconds. Allow generous slack for loaded CI machines.
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestEvaluateDeadline proves deadline expiry surfaces as DeadlineExceeded.
+func TestEvaluateDeadline(t *testing.T) {
+	prog := buildBench(t, "mcf")
+	machine := preexec.DefaultMachine()
+	machine.MeasureInsts = 4_000_000
+	eng := preexec.New(preexec.WithMachine(machine))
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, err := eng.Evaluate(ctx, prog); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// countingProfiler wraps the default profiling stage to prove WithProfiler
+// swaps the backend in.
+type countingProfiler struct {
+	inner preexec.Profiler
+	calls int
+}
+
+func (c *countingProfiler) Profile(ctx context.Context, p *preexec.Program, opts preexec.ProfileOptions) ([]preexec.ProfileRegion, error) {
+	c.calls++
+	return c.inner.Profile(ctx, p, opts)
+}
+
+// defaultProfiler recovers the reference Profiler via a fresh engine.
+type defaultProfiler struct{ eng *preexec.Engine }
+
+func (d defaultProfiler) Profile(ctx context.Context, p *preexec.Program, opts preexec.ProfileOptions) ([]preexec.ProfileRegion, error) {
+	regions, err := d.eng.Profile(ctx, p)
+	_ = opts // the engine re-derives options from its own config
+	return regions, err
+}
+
+func TestWithProfilerPluggable(t *testing.T) {
+	prog := buildBench(t, "vpr.p")
+	base := preexec.New(preexec.WithMachine(testMachine()))
+	cp := &countingProfiler{inner: defaultProfiler{base}}
+	eng := preexec.New(preexec.WithMachine(testMachine()), preexec.WithProfiler(cp))
+	rep, err := eng.Evaluate(t.Context(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.calls != 1 {
+		t.Errorf("custom profiler called %d times, want 1", cp.calls)
+	}
+	if len(rep.PThreads) == 0 {
+		t.Error("evaluation through the custom profiler selected nothing")
+	}
+}
+
+// TestEngineProfileAndSelectForest exercises the split tsim/tselect flow on
+// the public API: profile once, select from the forest, and check the
+// result matches the fused Select path.
+func TestEngineProfileAndSelectForest(t *testing.T) {
+	prog := buildBench(t, "vpr.p")
+	eng := preexec.New(preexec.WithMachine(testMachine()))
+
+	base, err := eng.Simulate(t.Context(), prog, nil, preexec.ModeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, err := eng.Profile(t.Context(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 {
+		t.Fatalf("regions = %d, want 1", len(regions))
+	}
+	fromForest := eng.SelectForest(regions[0].Forest, base.IPC)
+
+	fused, misses, err := eng.Select(t.Context(), prog, base.IPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses != regions[0].Forest.L2Misses {
+		t.Errorf("miss counts diverge: %d vs %d", misses, regions[0].Forest.L2Misses)
+	}
+	if !reflect.DeepEqual(fromForest.Pred, fused.Pred) {
+		t.Errorf("forest and fused selection diverge:\n%+v\n%+v", fromForest.Pred, fused.Pred)
+	}
+	if len(fromForest.PThreads) != len(fused.PThreads) {
+		t.Errorf("p-thread counts diverge: %d vs %d", len(fromForest.PThreads), len(fused.PThreads))
+	}
+}
+
+// TestReportJSONRoundTrip checks the -json output surface: derived metrics
+// present, raw fields intact.
+func TestReportJSONRoundTrip(t *testing.T) {
+	prog := buildBench(t, "vpr.p")
+	eng := preexec.New(preexec.WithMachine(testMachine()))
+	rep, err := eng.Evaluate(t.Context(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"program":"vpr.p"`, `"coverage_pct"`, `"speedup_pct"`, `"pthreads"`, `"prediction"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON report missing %s:\n%s", key, data)
+		}
+	}
+}

@@ -1,18 +1,19 @@
 // Granularity: the paper's Figure 6 methodology on one benchmark — select
 // p-threads for the whole sample versus independently for successively
 // finer dynamic regions, and watch specialization trade against lost
-// coverage at unselected sub-regions.
+// coverage at unselected sub-regions. The four configurations run
+// concurrently through the Suite runner.
 //
 //	go run ./examples/granularity [benchmark]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"preexec/internal/core"
-	"preexec/internal/workload"
+	"preexec"
 )
 
 func main() {
@@ -20,32 +21,40 @@ func main() {
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
-	w, err := workload.ByName(name)
+	w, err := preexec.WorkloadByName(name)
 	if err != nil {
 		log.Fatal(err)
 	}
 	prog := w.Build(1)
 
 	fmt.Printf("selection granularity on %s (paper Figure 6)\n\n", name)
-	base := core.DefaultConfig()
+	base := preexec.DefaultConfig()
 	grains := []struct {
 		label   string
 		regions int64
 	}{
 		{"whole sample", 0},
-		{"1/3 regions", base.MeasureInsts / 3},
-		{"1/6 regions", base.MeasureInsts / 6},
-		{"1/12 regions", base.MeasureInsts / 12},
+		{"1/3 regions", base.Machine.MeasureInsts / 3},
+		{"1/6 regions", base.Machine.MeasureInsts / 6},
+		{"1/12 regions", base.Machine.MeasureInsts / 12},
 	}
-	for _, g := range grains {
+	jobs := make([]preexec.Job, len(grains))
+	for i, g := range grains {
 		cfg := base
-		cfg.RegionInsts = g.regions
-		rep, err := core.Evaluate(prog, cfg)
-		if err != nil {
-			log.Fatal(err)
+		cfg.Selection.RegionInsts = g.regions
+		jobs[i] = preexec.Job{
+			Name:    g.label,
+			Program: prog,
+			Engine:  preexec.New(preexec.WithConfig(cfg)),
 		}
+	}
+	reports, err := (&preexec.Suite{}).Run(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rep := range reports {
 		fmt.Printf("%-13s pts %2d  launches %6d  cover %5.1f%% (full %5.1f%%)  overhead %4.1f%%  speedup %+6.1f%%\n",
-			g.label, len(rep.Selection.PThreads), rep.Pre.Launches,
+			grains[i].label, len(rep.PThreads), rep.Pre.Launches,
 			rep.CoveragePct(), rep.FullCoveragePct(), rep.Pre.OverheadFrac()*100, rep.SpeedupPct())
 	}
 	fmt.Println("\nexpected shape (paper §4.4): finer grains specialize p-threads to the")

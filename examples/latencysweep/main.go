@@ -1,18 +1,19 @@
 // Latencysweep: the paper's Figure 8 methodology on one benchmark — select
 // p-thread sets assuming 70- and 140-cycle memory, then cross-validate each
 // set on both machines. Shows the framework adapting p-thread structure to
-// the latency it is told to tolerate.
+// the latency it is told to tolerate. All four (simulate, select) pairs run
+// concurrently through the Suite runner.
 //
 //	go run ./examples/latencysweep [benchmark]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"preexec/internal/core"
-	"preexec/internal/workload"
+	"preexec"
 )
 
 func main() {
@@ -20,7 +21,7 @@ func main() {
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
-	w, err := workload.ByName(name)
+	w, err := preexec.WorkloadByName(name)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,25 +30,42 @@ func main() {
 	fmt.Printf("memory-latency cross-validation on %s (paper Figure 8)\n", name)
 	fmt.Println("pSIM(tSEL): simulate at SIM cycles with p-threads selected assuming SEL cycles")
 	fmt.Println()
+	type pair struct{ sim, sel int }
+	var (
+		pairs []pair
+		jobs  []preexec.Job
+	)
 	for _, simLat := range []int{140, 70} {
 		for _, selLat := range []int{70, 140} {
-			cfg := core.DefaultConfig()
-			cfg.MemLat = simLat
-			cfg.SelectMemLat = selLat
-			rep, err := core.Evaluate(prog, cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			kind := "self "
-			if simLat != selLat {
-				kind = "cross"
-			}
-			fmt.Printf("p%d(t%d) %s: base IPC %.3f  pre IPC %.3f  speedup %+6.1f%%  cover %5.1f%% (full %5.1f%%)  len %.1f  pts %d\n",
-				simLat, selLat, kind, rep.Base.IPC, rep.Pre.IPC, rep.SpeedupPct(),
-				rep.CoveragePct(), rep.FullCoveragePct(), rep.Pre.AvgPtLen, len(rep.Selection.PThreads))
+			cfg := preexec.DefaultConfig()
+			cfg.Machine.MemLat = simLat
+			cfg.Selection.MemLat = selLat
+			pairs = append(pairs, pair{simLat, selLat})
+			jobs = append(jobs, preexec.Job{
+				Name:    fmt.Sprintf("p%d(t%d)", simLat, selLat),
+				Program: prog,
+				Engine:  preexec.New(preexec.WithConfig(cfg)),
+			})
 		}
-		fmt.Println()
 	}
+	reports, err := (&preexec.Suite{}).Run(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rep := range reports {
+		p := pairs[i]
+		kind := "self "
+		if p.sim != p.sel {
+			kind = "cross"
+		}
+		fmt.Printf("p%d(t%d) %s: base IPC %.3f  pre IPC %.3f  speedup %+6.1f%%  cover %5.1f%% (full %5.1f%%)  len %.1f  pts %d\n",
+			p.sim, p.sel, kind, rep.Base.IPC, rep.Pre.IPC, rep.SpeedupPct(),
+			rep.CoveragePct(), rep.FullCoveragePct(), rep.Pre.AvgPtLen, len(rep.PThreads))
+		if i == len(reports)/2-1 {
+			fmt.Println()
+		}
+	}
+	fmt.Println()
 	fmt.Println("expected shape (paper §4.5): self-validation competitive or better;")
 	fmt.Println("over-specification (p70(t140)) covers misses more fully but fewer in total;")
 	fmt.Println("under-specification occasionally wins via naturally-overlapped misses.")

@@ -10,11 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"preexec"
 	"preexec/internal/advantage"
-	"preexec/internal/core"
 	"preexec/internal/pharmacy"
 	"preexec/internal/selector"
 	"preexec/internal/slice"
@@ -76,14 +77,15 @@ func empirical() {
 	fmt.Println("=== The pharmacy loop, simulated (Figure 1) ===")
 	prog := pharmacy.Program_(pharmacy.DefaultConfig())
 	fmt.Println(prog.Disassemble())
-	cfg := core.DefaultConfig()
-	cfg.MaxLen = 8 // the worked example's constraint: p-threads under 8 insts
-	rep, err := core.Evaluate(prog, cfg)
+	sel := preexec.DefaultSelection()
+	sel.MaxLen = 8 // the worked example's constraint: p-threads under 8 insts
+	eng := preexec.New(preexec.WithSelection(sel))
+	rep, err := eng.Evaluate(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("base IPC %.3f, %d L2 misses on load #09\n", rep.Base.IPC, rep.BaseMisses)
-	for _, pt := range rep.Selection.PThreads {
+	for _, pt := range rep.PThreads {
 		fmt.Println(pt)
 	}
 	fmt.Printf("pre-exec IPC %.3f, coverage %.1f%% (full %.1f%%), speedup %+.1f%%\n",

@@ -1,24 +1,25 @@
 // Quickstart: the complete pre-execution pipeline on one benchmark, in
 // about forty lines — profile the program's L2 misses into slice trees,
 // select static p-threads with the aggregate-advantage framework, and
-// measure them in the detailed SMT timing simulator.
+// measure them in the detailed SMT timing simulator, all through the public
+// preexec API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"preexec/internal/core"
-	"preexec/internal/workload"
+	"preexec"
 )
 
 func main() {
 	// 1. Pick a benchmark from the synthetic suite. vpr.r is the paper's
 	//    best case: an index-array graph walk whose miss addresses hang off
 	//    the loop induction variable.
-	w, err := workload.ByName("vpr.r")
+	w, err := preexec.WorkloadByName("vpr.r")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,8 +27,13 @@ func main() {
 
 	// 2. Evaluate with the paper's base configuration: 8-wide SMT, 70-cycle
 	//    memory, slicing scope 1024, p-threads up to 32 instructions,
-	//    optimization and merging on.
-	rep, err := core.Evaluate(prog, core.DefaultConfig())
+	//    optimization and merging on. (New with no options is exactly this;
+	//    the With* options change any of it.)
+	eng := preexec.New(
+		preexec.WithMachine(preexec.DefaultMachine()),
+		preexec.WithSelection(preexec.DefaultSelection()),
+	)
+	rep, err := eng.Evaluate(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,8 +43,8 @@ func main() {
 	fmt.Printf("benchmark      %s — %s\n", w.Name, w.Description)
 	fmt.Printf("base IPC       %.3f (%d L2 misses)\n", rep.Base.IPC, rep.BaseMisses)
 	fmt.Printf("p-threads      %d static (predicted %d launches, %.1f insts each)\n",
-		len(rep.Selection.PThreads), rep.Selection.Pred.Launches, rep.Selection.Pred.InstsPerPThread)
-	for _, pt := range rep.Selection.PThreads {
+		len(rep.PThreads), rep.Pred.Launches, rep.Pred.InstsPerPThread)
+	for _, pt := range rep.PThreads {
 		fmt.Printf("\n%s\n", pt)
 	}
 	fmt.Printf("pre-exec IPC   %.3f (predicted %.3f)\n", rep.Pre.IPC, rep.PredIPC)

@@ -1,0 +1,3 @@
+module preexec
+
+go 1.24

@@ -6,11 +6,17 @@
 //	program + p-threads          ->  timing simulation  (package timing)
 //
 // — and returns both the model's predictions and the simulated measurements
-// so callers (experiments, examples, command-line tools) can validate one
-// against the other exactly as the paper does.
+// so callers can validate one against the other exactly as the paper does.
+//
+// This package is now the thin compatibility layer wrapped by the public
+// preexec package at the module root: the flat Config survives for legacy
+// callers and for the golden tests pinning the public Engine to it, while
+// the Context/Stages entry points carry cancellation and the pluggable
+// stage backends. New code should use the preexec package.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"preexec/internal/advantage"
@@ -20,6 +26,39 @@ import (
 	"preexec/internal/slice"
 	"preexec/internal/timing"
 )
+
+// Stages are the pipeline's pluggable backends. A zero Stages value selects
+// the built-in implementations (slice.ProfileContext, the selector package,
+// timing.RunContext); the public preexec package uses this hook to let
+// callers swap in alternative profilers, selectors, and simulators.
+type Stages struct {
+	// Profile builds slice-tree regions from a functional run.
+	Profile func(ctx context.Context, p *program.Program, opts slice.ProfileOptions) ([]slice.Region, error)
+	// Select chooses p-threads from profiled regions. regioned reports
+	// whether per-region selection (RegionInsts > 0) was requested.
+	Select func(regions []slice.Region, opts selector.Options, regioned bool) selector.Result
+	// Simulate measures a program, with optional p-threads, on the detailed
+	// timing machine.
+	Simulate func(ctx context.Context, p *program.Program, pts []*pthread.PThread, cfg timing.Config) (timing.Stats, error)
+}
+
+func (s Stages) fill() Stages {
+	if s.Profile == nil {
+		s.Profile = slice.ProfileContext
+	}
+	if s.Select == nil {
+		s.Select = func(regions []slice.Region, opts selector.Options, regioned bool) selector.Result {
+			if regioned {
+				return selector.SelectRegions(regions, opts)
+			}
+			return selector.SelectForest(regions[0].Forest, opts)
+		}
+	}
+	if s.Simulate == nil {
+		s.Simulate = timing.RunContext
+	}
+	return s
+}
 
 // Config is the end-to-end evaluation configuration. Zero values select the
 // paper's base configuration.
@@ -89,6 +128,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithDefaults returns the configuration with every zero field replaced by
+// the paper's base value (the same normalization every entry point applies).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // DefaultConfig returns the paper's base evaluation configuration with
 // optimization and merging enabled.
 func DefaultConfig() Config {
@@ -149,16 +192,43 @@ func (c Config) timingConfig(mode timing.Mode) timing.Config {
 	return tc
 }
 
+// SelectorOptions builds the selection options — the aggregate-advantage
+// parameters and the merging switch — this configuration implies for the
+// given unassisted main-thread IPC.
+func (c Config) SelectorOptions(baseIPC float64) selector.Options {
+	c = c.withDefaults()
+	loadLat := c.ModelLoadLat
+	if loadLat <= 0 {
+		loadLat = 6 // in-slice loads hit the L2 at best (see advantage.Params)
+	}
+	params := advantage.Params{
+		BWSeq:    float64(c.SelectWidth),
+		IPC:      baseIPC,
+		MemLat:   float64(c.SelectMemLat),
+		MaxLen:   c.MaxLen,
+		Optimize: c.Optimize,
+		LoadLat:  loadLat,
+	}
+	return selector.Options{Params: params, Merge: c.Merge}
+}
+
 // Select runs the selection half of the pipeline: profile (on SelectOn or
 // the program itself), then slice-tree selection with the configured
 // parameters. baseIPC is the unassisted IPC fed to the advantage model.
 func Select(p *program.Program, baseIPC float64, cfg Config) (selector.Result, int64, error) {
+	return SelectContext(context.Background(), p, baseIPC, cfg, Stages{})
+}
+
+// SelectContext is Select with cancellation support and pluggable stages
+// (zero Stages selects the built-in backends).
+func SelectContext(ctx context.Context, p *program.Program, baseIPC float64, cfg Config, st Stages) (selector.Result, int64, error) {
 	cfg = cfg.withDefaults()
+	st = st.fill()
 	target := cfg.SelectOn
 	if target == nil {
 		target = p
 	}
-	regions, err := slice.Profile(target, slice.ProfileOptions{
+	regions, err := st.Profile(ctx, target, slice.ProfileOptions{
 		WarmInsts:   cfg.WarmInsts,
 		MaxInsts:    cfg.SelectInsts,
 		Scope:       cfg.Scope,
@@ -168,42 +238,33 @@ func Select(p *program.Program, baseIPC float64, cfg Config) (selector.Result, i
 	if err != nil {
 		return selector.Result{}, 0, err
 	}
-	loadLat := cfg.ModelLoadLat
-	if loadLat <= 0 {
-		loadLat = 6 // in-slice loads hit the L2 at best (see advantage.Params)
-	}
-	params := advantage.Params{
-		BWSeq:    float64(cfg.SelectWidth),
-		IPC:      baseIPC,
-		MemLat:   float64(cfg.SelectMemLat),
-		MaxLen:   cfg.MaxLen,
-		Optimize: cfg.Optimize,
-		LoadLat:  loadLat,
-	}
-	opts := selector.Options{Params: params, Merge: cfg.Merge}
 	var misses int64
 	for _, r := range regions {
 		misses += r.Forest.L2Misses
 	}
-	if cfg.RegionInsts > 0 {
-		return selector.SelectRegions(regions, opts), misses, nil
-	}
-	return selector.SelectForest(regions[0].Forest, opts), misses, nil
+	return st.Select(regions, cfg.SelectorOptions(baseIPC), cfg.RegionInsts > 0), misses, nil
 }
 
 // Evaluate runs the full pipeline: base timing run, selection, and the
 // pre-execution timing run.
 func Evaluate(p *program.Program, cfg Config) (Report, error) {
+	return EvaluateContext(context.Background(), p, cfg, Stages{})
+}
+
+// EvaluateContext is Evaluate with cancellation support and pluggable
+// stages (zero Stages selects the built-in backends).
+func EvaluateContext(ctx context.Context, p *program.Program, cfg Config, st Stages) (Report, error) {
 	cfg = cfg.withDefaults()
+	st = st.fill()
 	rep := Report{Program: p.Name, Config: cfg}
 
-	base, err := timing.Run(p, nil, cfg.timingConfig(timing.ModeBase))
+	base, err := st.Simulate(ctx, p, nil, cfg.timingConfig(timing.ModeBase))
 	if err != nil {
 		return rep, fmt.Errorf("core: base run: %w", err)
 	}
 	rep.Base = base
 
-	sel, _, err := Select(p, base.IPC, cfg)
+	sel, _, err := SelectContext(ctx, p, base.IPC, cfg, st)
 	if err != nil {
 		return rep, fmt.Errorf("core: selection: %w", err)
 	}
@@ -214,7 +275,7 @@ func Evaluate(p *program.Program, cfg Config) (Report, error) {
 	rep.BaseMisses = base.L2Misses
 	rep.PredIPC = selector.PredictIPC(sel.Pred, cfg.MeasureInsts, base.IPC, float64(cfg.Width))
 
-	pre, err := timing.Run(p, sel.PThreads, cfg.timingConfig(timing.ModeNormal))
+	pre, err := st.Simulate(ctx, p, sel.PThreads, cfg.timingConfig(timing.ModeNormal))
 	if err != nil {
 		return rep, fmt.Errorf("core: pre-execution run: %w", err)
 	}
@@ -225,6 +286,12 @@ func Evaluate(p *program.Program, cfg Config) (Report, error) {
 // RunMode re-simulates a completed report's p-threads under a different
 // p-thread mode (the validation diagnostics of §4.3).
 func RunMode(p *program.Program, pts []*pthread.PThread, cfg Config, mode timing.Mode) (timing.Stats, error) {
+	return RunModeContext(context.Background(), p, pts, cfg, mode, Stages{})
+}
+
+// RunModeContext is RunMode with cancellation support and a pluggable
+// simulator stage.
+func RunModeContext(ctx context.Context, p *program.Program, pts []*pthread.PThread, cfg Config, mode timing.Mode, st Stages) (timing.Stats, error) {
 	cfg = cfg.withDefaults()
-	return timing.Run(p, pts, cfg.timingConfig(mode))
+	return st.fill().Simulate(ctx, p, pts, cfg.timingConfig(mode))
 }

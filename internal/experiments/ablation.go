@@ -1,7 +1,9 @@
 package experiments
 
 import (
-	"preexec/internal/core"
+	"context"
+
+	"preexec"
 	"preexec/internal/program"
 )
 
@@ -19,18 +21,17 @@ import (
 //     dependent-load chains AND they monopolize the reservation stations).
 //
 // "full" is the default configuration for reference.
-func Ablation(opts Options) ([]FigRow, error) {
-	opts = opts.fill()
+func Ablation(ctx context.Context, opts Options) ([]FigRow, error) {
 	names := []string{"full", "unit-loadlat", "no-throttle", "neither"}
-	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+	return opts.evalConfigs(ctx, names, func(cfg *preexec.Config, name string, _, _ *program.Program) {
 		switch name {
 		case "unit-loadlat":
-			cfg.ModelLoadLat = 1
+			cfg.Ablation.ModelLoadLat = 1
 		case "no-throttle":
-			cfg.NoRSThrottle = true
+			cfg.Ablation.NoRSThrottle = true
 		case "neither":
-			cfg.ModelLoadLat = 1
-			cfg.NoRSThrottle = true
+			cfg.Ablation.ModelLoadLat = 1
+			cfg.Ablation.NoRSThrottle = true
 		}
 	})
 }

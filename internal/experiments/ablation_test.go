@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestAblationMcf(t *testing.T) {
-	rows, err := Ablation(fast("mcf"))
+	rows, err := Ablation(t.Context(), fast("mcf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestAblationMcf(t *testing.T) {
 }
 
 func TestAblationLeavesGoodCasesAlone(t *testing.T) {
-	rows, err := Ablation(fast("vpr.p"))
+	rows, err := Ablation(t.Context(), fast("vpr.p"))
 	if err != nil {
 		t.Fatal(err)
 	}

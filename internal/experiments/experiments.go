@@ -6,6 +6,11 @@
 // cross-validation), plus the processor-width cross-validation the paper
 // describes in prose (§4.5).
 //
+// Every experiment runs on the public preexec API: one Engine per
+// (benchmark, configuration) cell, evaluated concurrently across the suite
+// runner's bounded worker pool with deterministic row ordering, and
+// cancellable through the context threaded into every entry point.
+//
 // Absolute numbers are not expected to match the paper — the substrate is a
 // from-scratch simulator running synthetic kernels — but the qualitative
 // shape (who wins, where effects saturate, how cross-validation orders) is;
@@ -13,9 +18,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
-	"preexec/internal/core"
+	"preexec"
 	"preexec/internal/stats"
 	"preexec/internal/timing"
 	"preexec/internal/workload"
@@ -29,6 +36,10 @@ type Options struct {
 	Warm, Measure int64
 	// Benchmarks restricts the suite (default: all ten).
 	Benchmarks []string
+	// Workers bounds concurrent evaluations (<= 0 = GOMAXPROCS).
+	Workers int
+	// Progress, if non-nil, streams per-cell completion events.
+	Progress func(preexec.SuiteEvent)
 }
 
 func (o Options) fill() Options {
@@ -47,11 +58,16 @@ func (o Options) fill() Options {
 	return o
 }
 
-func (o Options) coreConfig() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.WarmInsts = o.Warm
-	cfg.MeasureInsts = o.Measure
+// config is the paper's base configuration sized to this run's windows.
+func (o Options) config() preexec.Config {
+	cfg := preexec.DefaultConfig()
+	cfg.Machine.WarmInsts = o.Warm
+	cfg.Machine.MeasureInsts = o.Measure
 	return cfg
+}
+
+func (o Options) suite() *preexec.Suite {
+	return &preexec.Suite{Workers: o.Workers, Progress: o.Progress}
 }
 
 func (o Options) workloads() ([]workload.Workload, error) {
@@ -66,22 +82,46 @@ func (o Options) workloads() ([]workload.Workload, error) {
 	return out, nil
 }
 
+// progressEmitter serializes SuiteEvents for the table experiments, which
+// run through preexec.ParallelEach rather than the Suite runner (their unit
+// of work is not a plain evaluation, so Report is nil in their events).
+type progressEmitter struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(preexec.SuiteEvent)
+}
+
+func newProgressEmitter(total int, fn func(preexec.SuiteEvent)) *progressEmitter {
+	return &progressEmitter{total: total, fn: fn}
+}
+
+func (e *progressEmitter) emit(index int, name string, err error) {
+	if e == nil || e.fn == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done++
+	e.fn(preexec.SuiteEvent{Index: index, Total: e.total, Done: e.done, Name: name, Err: err})
+}
+
 // FigRow is one bar of a paper figure: the five diagnostics every graph
 // reports (miss coverage, full coverage, instruction overhead, mean dynamic
 // p-thread length, percent speedup), tagged with benchmark and configuration.
 type FigRow struct {
-	Bench  string
-	Config string
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
 
-	CoveragePct float64
-	FullPct     float64
-	OverheadPct float64 // p-thread instructions per 100 retired
-	AvgPtLen    float64
-	SpeedupPct  float64
-	PThreads    int
+	CoveragePct float64 `json:"coverage_pct"`
+	FullPct     float64 `json:"full_pct"`
+	OverheadPct float64 `json:"overhead_pct"` // p-thread instructions per 100 retired
+	AvgPtLen    float64 `json:"avg_pt_len"`
+	SpeedupPct  float64 `json:"speedup_pct"`
+	PThreads    int     `json:"pthreads"`
 }
 
-func figRow(bench, config string, rep core.Report) FigRow {
+func figRow(bench, config string, rep preexec.Report) FigRow {
 	return FigRow{
 		Bench:       bench,
 		Config:      config,
@@ -90,7 +130,7 @@ func figRow(bench, config string, rep core.Report) FigRow {
 		OverheadPct: rep.Pre.OverheadFrac() * 100,
 		AvgPtLen:    rep.Pre.AvgPtLen,
 		SpeedupPct:  rep.SpeedupPct(),
-		PThreads:    len(rep.Selection.PThreads),
+		PThreads:    len(rep.PThreads),
 	}
 }
 
@@ -103,47 +143,64 @@ func FormatFigRows(rows []FigRow) string {
 	return t.String()
 }
 
+// SuiteReports evaluates the whole suite under the paper's base
+// configuration — concurrently — and returns the full public reports in
+// benchmark order (the machine-readable counterpart of Table 2's measured
+// block).
+func SuiteReports(ctx context.Context, opts Options) ([]preexec.Report, error) {
+	opts = opts.fill()
+	eng := preexec.New(preexec.WithConfig(opts.config()))
+	return preexec.EvaluateSuite(ctx, eng, opts.Benchmarks, opts.Scale, opts.Workers, opts.Progress)
+}
+
 // Table1Row characterizes one benchmark (paper Table 1).
 type Table1Row struct {
-	Bench      string
-	Insts      int64
-	Loads      int64
-	L2Misses   int64
-	IPC        float64
-	PerfectIPC float64 // IPC with a (near-)perfect L2
+	Bench      string  `json:"bench"`
+	Insts      int64   `json:"insts"`
+	Loads      int64   `json:"loads"`
+	L2Misses   int64   `json:"l2_misses"`
+	IPC        float64 `json:"ipc"`
+	PerfectIPC float64 `json:"perfect_ipc"` // IPC with a (near-)perfect L2
 }
 
 // Table1 regenerates the benchmark characterization.
-func Table1(opts Options) ([]Table1Row, error) {
+func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 	opts = opts.fill()
 	ws, err := opts.workloads()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table1Row
-	for _, w := range ws {
+	rows := make([]Table1Row, len(ws))
+	progress := newProgressEmitter(len(ws), opts.Progress)
+	err = preexec.ParallelEach(ctx, opts.Workers, len(ws), func(ctx context.Context, i int) (retErr error) {
+		defer func() { progress.emit(i, ws[i].Name, retErr) }()
+		w := ws[i]
 		p := w.Build(opts.Scale)
 		cfg := timing.DefaultConfig()
 		cfg.WarmInsts = opts.Warm
 		cfg.MaxInsts = opts.Measure
-		base, err := timing.Run(p, nil, cfg)
+		base, err := timing.RunContext(ctx, p, nil, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", w.Name, err)
+			return fmt.Errorf("table1 %s: %w", w.Name, err)
 		}
 		perfectCfg := cfg
 		perfectCfg.MemLat = 1 // an L2 miss costs (almost) nothing
-		perfect, err := timing.Run(p, nil, perfectCfg)
+		perfect, err := timing.RunContext(ctx, p, nil, perfectCfg)
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s (perfect): %w", w.Name, err)
+			return fmt.Errorf("table1 %s (perfect): %w", w.Name, err)
 		}
-		rows = append(rows, Table1Row{
+		rows[i] = Table1Row{
 			Bench:      w.Name,
 			Insts:      base.Retired,
 			Loads:      base.Loads,
 			L2Misses:   base.L2Misses,
 			IPC:        base.IPC,
 			PerfectIPC: perfect.IPC,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -161,42 +218,47 @@ func FormatTable1(rows []Table1Row) string {
 // pre-execution block and the framework's predictions of the same
 // quantities (§4.2-4.3).
 type Table2Row struct {
-	Bench   string
-	BaseIPC float64
+	Bench   string  `json:"bench"`
+	BaseIPC float64 `json:"base_ipc"`
 
 	// Measured (Pre-exec block).
-	PreIPC      float64
-	Launches    int64
-	InstsPerPt  float64
-	Covered     int64
-	FullCovered int64
+	PreIPC      float64 `json:"pre_ipc"`
+	Launches    int64   `json:"launches"`
+	InstsPerPt  float64 `json:"insts_per_pt"`
+	Covered     int64   `json:"covered"`
+	FullCovered int64   `json:"full_covered"`
 	// Validation IPCs.
-	OverheadExecIPC float64 // p-threads execute, no cache access
-	OverheadSeqIPC  float64 // p-threads consume sequencing only
-	LatencyIPC      float64 // p-threads free of sequencing cost
+	OverheadExecIPC float64 `json:"overhead_exec_ipc"` // p-threads execute, no cache access
+	OverheadSeqIPC  float64 `json:"overhead_seq_ipc"`  // p-threads consume sequencing only
+	LatencyIPC      float64 `json:"latency_ipc"`       // p-threads free of sequencing cost
 
 	// Predicted (Predict block).
-	PredIPC         float64
-	PredLaunches    int64
-	PredInstsPerPt  float64
-	PredCovered     int64
-	PredFullCovered int64
+	PredIPC         float64 `json:"pred_ipc"`
+	PredLaunches    int64   `json:"pred_launches"`
+	PredInstsPerPt  float64 `json:"pred_insts_per_pt"`
+	PredCovered     int64   `json:"pred_covered"`
+	PredFullCovered int64   `json:"pred_full_covered"`
 }
 
-// Table2 regenerates the primary performance and validation results.
-func Table2(opts Options) ([]Table2Row, error) {
+// Table2 regenerates the primary performance and validation results. Each
+// benchmark's full row — evaluation plus the three diagnostic re-simulations
+// — is one unit of parallel work.
+func Table2(ctx context.Context, opts Options) ([]Table2Row, error) {
 	opts = opts.fill()
 	ws, err := opts.workloads()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table2Row
-	for _, w := range ws {
+	eng := preexec.New(preexec.WithConfig(opts.config()))
+	rows := make([]Table2Row, len(ws))
+	progress := newProgressEmitter(len(ws), opts.Progress)
+	err = preexec.ParallelEach(ctx, opts.Workers, len(ws), func(ctx context.Context, i int) (retErr error) {
+		defer func() { progress.emit(i, ws[i].Name, retErr) }()
+		w := ws[i]
 		p := w.Build(opts.Scale)
-		cfg := opts.coreConfig()
-		rep, err := core.Evaluate(p, cfg)
+		rep, err := eng.Evaluate(ctx, p)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", w.Name, err)
+			return fmt.Errorf("table2 %s: %w", w.Name, err)
 		}
 		row := Table2Row{
 			Bench:           w.Name,
@@ -207,26 +269,30 @@ func Table2(opts Options) ([]Table2Row, error) {
 			Covered:         rep.Pre.MissesCovered,
 			FullCovered:     rep.Pre.MissesFullCovered,
 			PredIPC:         rep.PredIPC,
-			PredLaunches:    rep.Selection.Pred.Launches,
-			PredInstsPerPt:  rep.Selection.Pred.InstsPerPThread,
-			PredCovered:     rep.Selection.Pred.MissesCovered,
-			PredFullCovered: rep.Selection.Pred.MissesFullCov,
+			PredLaunches:    rep.Pred.Launches,
+			PredInstsPerPt:  rep.Pred.InstsPerPThread,
+			PredCovered:     rep.Pred.MissesCovered,
+			PredFullCovered: rep.Pred.MissesFullCov,
 		}
 		for _, m := range []struct {
-			mode timing.Mode
+			mode preexec.Mode
 			dst  *float64
 		}{
-			{timing.ModeOverheadExecute, &row.OverheadExecIPC},
-			{timing.ModeOverheadSequence, &row.OverheadSeqIPC},
-			{timing.ModeLatencyOnly, &row.LatencyIPC},
+			{preexec.ModeOverheadExecute, &row.OverheadExecIPC},
+			{preexec.ModeOverheadSequence, &row.OverheadSeqIPC},
+			{preexec.ModeLatencyOnly, &row.LatencyIPC},
 		} {
-			st, err := core.RunMode(p, rep.Selection.PThreads, cfg, m.mode)
+			st, err := eng.Simulate(ctx, p, rep.PThreads, m.mode)
 			if err != nil {
-				return nil, fmt.Errorf("table2 %s (%v): %w", w.Name, m.mode, err)
+				return fmt.Errorf("table2 %s (%v): %w", w.Name, m.mode, err)
 			}
 			*m.dst = st.IPC
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -15,7 +15,7 @@ func fast(benchmarks ...string) Options {
 }
 
 func TestTable1(t *testing.T) {
-	rows, err := Table1(fast("vpr.p", "crafty", "mcf"))
+	rows, err := Table1(t.Context(), fast("vpr.p", "crafty", "mcf"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
-	rows, err := Table2(fast("vpr.p", "crafty"))
+	rows, err := Table2(t.Context(), fast("vpr.p", "crafty"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestFigure4Saturation(t *testing.T) {
-	rows, err := Figure4(fast("vpr.p"))
+	rows, err := Figure4(t.Context(), fast("vpr.p"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestFigure4Saturation(t *testing.T) {
 }
 
 func TestFigure5OptimizationHelpsVortex(t *testing.T) {
-	rows, err := Figure5(fast("vortex"))
+	rows, err := Figure5(t.Context(), fast("vortex"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestFigure5OptimizationHelpsVortex(t *testing.T) {
 }
 
 func TestFigure6RunsAllGranularities(t *testing.T) {
-	rows, err := Figure6(fast("vpr.p"))
+	rows, err := Figure6(t.Context(), fast("vpr.p"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestFigure6RunsAllGranularities(t *testing.T) {
 }
 
 func TestFigure7StaticScenario(t *testing.T) {
-	rows, err := Figure7(fast("vpr.p", "bzip2"))
+	rows, err := Figure7(t.Context(), fast("vpr.p", "bzip2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestFigure7StaticScenario(t *testing.T) {
 }
 
 func TestFigure8CrossValidation(t *testing.T) {
-	rows, err := Figure8(fast("vpr.r"))
+	rows, err := Figure8(t.Context(), fast("vpr.r"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestFigure8CrossValidation(t *testing.T) {
 }
 
 func TestWidthCrossValidation(t *testing.T) {
-	rows, err := Width(fast("vpr.p"))
+	rows, err := Width(t.Context(), fast("vpr.p"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestWidthCrossValidation(t *testing.T) {
 }
 
 func TestFormatting(t *testing.T) {
-	t1, err := Table1(fast("crafty"))
+	t1, err := Table1(t.Context(), fast("crafty"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestFormatting(t *testing.T) {
 }
 
 func TestUnknownBenchmark(t *testing.T) {
-	if _, err := Table1(Options{Benchmarks: []string{"nope"}}); err == nil {
+	if _, err := Table1(t.Context(), Options{Benchmarks: []string{"nope"}}); err == nil {
 		t.Error("unknown benchmark should error")
 	}
 }

@@ -1,37 +1,53 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"preexec/internal/core"
+	"preexec"
 	"preexec/internal/program"
 )
 
-// evalConfigs runs one core evaluation per (benchmark, named config) and
-// collects figure rows. mutate customizes the base config for each named
-// variant; prog selects the program (defaults to the train input).
+// evalConfigs runs one evaluation per (benchmark, named config) cell across
+// the suite runner's worker pool and collects figure rows in deterministic
+// (benchmark-major) order. mutate customizes the base configuration for
+// each named variant; train and test are the workload's two inputs.
 func (o Options) evalConfigs(
+	ctx context.Context,
 	names []string,
-	mutate func(cfg *core.Config, name string, train, test *program.Program),
+	mutate func(cfg *preexec.Config, name string, train, test *program.Program),
 ) ([]FigRow, error) {
 	o = o.fill()
 	ws, err := o.workloads()
 	if err != nil {
 		return nil, err
 	}
-	var rows []FigRow
+	type label struct{ bench, config string }
+	var (
+		jobs   []preexec.Job
+		labels []label
+	)
 	for _, w := range ws {
 		train := w.Build(o.Scale)
 		test := w.BuildTest(o.Scale)
 		for _, name := range names {
-			cfg := o.coreConfig()
+			cfg := o.config()
 			mutate(&cfg, name, train, test)
-			rep, err := core.Evaluate(train, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", w.Name, name, err)
-			}
-			rows = append(rows, figRow(w.Name, name, rep))
+			jobs = append(jobs, preexec.Job{
+				Name:    w.Name + "/" + name,
+				Program: train,
+				Engine:  preexec.New(preexec.WithConfig(cfg)),
+			})
+			labels = append(labels, label{w.Name, name})
 		}
+	}
+	reports, err := o.suite().Run(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	rows := make([]FigRow, len(reports))
+	for i, rep := range reports {
+		rows[i] = figRow(labels[i].bench, labels[i].config, rep)
 	}
 	return rows, nil
 }
@@ -40,7 +56,7 @@ func (o Options) evalConfigs(
 // p-thread length (paper Figure 4): four scope/length combinations from
 // tightly constrained to fully relaxed. The paper's trends: all five
 // diagnostics grow as constraints relax, then saturate.
-func Figure4(opts Options) ([]FigRow, error) {
+func Figure4(ctx context.Context, opts Options) ([]FigRow, error) {
 	combos := []struct {
 		name   string
 		scope  int
@@ -55,10 +71,10 @@ func Figure4(opts Options) ([]FigRow, error) {
 	for i, c := range combos {
 		names[i] = c.name
 	}
-	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+	return opts.evalConfigs(ctx, names, func(cfg *preexec.Config, name string, _, _ *program.Program) {
 		for _, c := range combos {
 			if c.name == name {
-				cfg.Scope, cfg.MaxLen = c.scope, c.maxLen
+				cfg.Selection.Scope, cfg.Selection.MaxLen = c.scope, c.maxLen
 			}
 		}
 	})
@@ -69,11 +85,11 @@ func Figure4(opts Options) ([]FigRow, error) {
 // paper's trends: optimization shortens p-threads and unlocks previously
 // unprofitable candidates (more launches, more coverage); merging reduces
 // launch counts and overhead.
-func Figure5(opts Options) ([]FigRow, error) {
+func Figure5(ctx context.Context, opts Options) ([]FigRow, error) {
 	names := []string{"none", "merge", "opt", "opt+merge"}
-	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
-		cfg.Optimize = name == "opt" || name == "opt+merge"
-		cfg.Merge = name == "merge" || name == "opt+merge"
+	return opts.evalConfigs(ctx, names, func(cfg *preexec.Config, name string, _, _ *program.Program) {
+		cfg.Selection.Optimize = name == "opt" || name == "opt+merge"
+		cfg.Selection.Merge = name == "merge" || name == "opt+merge"
 	})
 }
 
@@ -81,13 +97,12 @@ func Figure5(opts Options) ([]FigRow, error) {
 // whole sample versus per-region selection at successively finer regions.
 // The paper's regions are 100M/10M/1M instructions of a ~100M sample; ours
 // scale to the measured window (full, 1/3, 1/6, 1/12).
-func Figure6(opts Options) ([]FigRow, error) {
-	opts = opts.fill()
+func Figure6(ctx context.Context, opts Options) ([]FigRow, error) {
 	names := []string{"full", "coarse", "medium", "fine"}
 	frac := map[string]int64{"coarse": 3, "medium": 6, "fine": 12}
-	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+	return opts.evalConfigs(ctx, names, func(cfg *preexec.Config, name string, _, _ *program.Program) {
 		if f, ok := frac[name]; ok {
-			cfg.RegionInsts = cfg.MeasureInsts / f
+			cfg.Selection.RegionInsts = cfg.Machine.MeasureInsts / f
 		}
 	})
 }
@@ -99,16 +114,15 @@ func Figure6(opts Options) ([]FigRow, error) {
 // profile-driven static compiler). The paper's trends: dynamic ~= perfect;
 // static works except where the test working set fits the L2 (twolf,
 // vpr.p), which select no p-threads at all.
-func Figure7(opts Options) ([]FigRow, error) {
-	opts = opts.fill()
+func Figure7(ctx context.Context, opts Options) ([]FigRow, error) {
 	names := []string{"perfect", "dynamic", "static"}
-	return opts.evalConfigs(names, func(cfg *core.Config, name string, train, test *program.Program) {
+	return opts.evalConfigs(ctx, names, func(cfg *preexec.Config, name string, train, test *program.Program) {
 		switch name {
 		case "dynamic":
-			cfg.SelectInsts = cfg.MeasureInsts / 5
+			cfg.Selection.ProfileInsts = cfg.Machine.MeasureInsts / 5
 		case "static":
-			cfg.SelectOn = test
-			cfg.SelectInsts = cfg.MeasureInsts / 2
+			cfg.Selection.ProfileOn = test
+			cfg.Selection.ProfileInsts = cfg.Machine.MeasureInsts / 2
 		}
 	})
 }
@@ -118,18 +132,18 @@ func Figure7(opts Options) ([]FigRow, error) {
 // set is simulated under both latencies. Config names read pSIM(tSEL). The
 // paper's trends: self-validation beats cross-validation; higher assumed
 // latency yields longer p-threads that fully cover more misses.
-func Figure8(opts Options) ([]FigRow, error) {
+func Figure8(ctx context.Context, opts Options) ([]FigRow, error) {
 	names := []string{"p140(t70)", "p140(t140)", "p70(t70)", "p70(t140)"}
-	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+	return opts.evalConfigs(ctx, names, func(cfg *preexec.Config, name string, _, _ *program.Program) {
 		switch name {
 		case "p140(t70)":
-			cfg.MemLat, cfg.SelectMemLat = 140, 70
+			cfg.Machine.MemLat, cfg.Selection.MemLat = 140, 70
 		case "p140(t140)":
-			cfg.MemLat, cfg.SelectMemLat = 140, 140
+			cfg.Machine.MemLat, cfg.Selection.MemLat = 140, 140
 		case "p70(t70)":
-			cfg.MemLat, cfg.SelectMemLat = 70, 70
+			cfg.Machine.MemLat, cfg.Selection.MemLat = 70, 70
 		case "p70(t140)":
-			cfg.MemLat, cfg.SelectMemLat = 70, 140
+			cfg.Machine.MemLat, cfg.Selection.MemLat = 70, 140
 		}
 	})
 }
@@ -137,18 +151,18 @@ func Figure8(opts Options) ([]FigRow, error) {
 // Width is the processor-width cross-validation the paper reports in prose
 // (§4.5): p-threads selected for a 4-wide or 8-wide machine, each simulated
 // on both. Config names read pSIM(tSEL).
-func Width(opts Options) ([]FigRow, error) {
+func Width(ctx context.Context, opts Options) ([]FigRow, error) {
 	names := []string{"p4(t4)", "p4(t8)", "p8(t8)", "p8(t4)"}
-	return opts.evalConfigs(names, func(cfg *core.Config, name string, _, _ *program.Program) {
+	return opts.evalConfigs(ctx, names, func(cfg *preexec.Config, name string, _, _ *program.Program) {
 		switch name {
 		case "p4(t4)":
-			cfg.Width, cfg.SelectWidth = 4, 4
+			cfg.Machine.Width, cfg.Selection.Width = 4, 4
 		case "p4(t8)":
-			cfg.Width, cfg.SelectWidth = 4, 8
+			cfg.Machine.Width, cfg.Selection.Width = 4, 8
 		case "p8(t8)":
-			cfg.Width, cfg.SelectWidth = 8, 8
+			cfg.Machine.Width, cfg.Selection.Width = 8, 8
 		case "p8(t4)":
-			cfg.Width, cfg.SelectWidth = 8, 4
+			cfg.Machine.Width, cfg.Selection.Width = 8, 4
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package slice
 
 import (
+	"context"
 	"fmt"
 
 	"preexec/internal/cache"
@@ -65,7 +66,19 @@ type Region struct {
 // building slice trees for every dynamic L2 load miss. It returns one Region
 // per RegionInsts instructions (a single region if RegionInsts is 0).
 func Profile(p *program.Program, opts ProfileOptions) ([]Region, error) {
+	return ProfileContext(context.Background(), p, opts)
+}
+
+// ctxCheckMask gates how often the profiling loops poll ctx.Done(): every
+// 4096 instructions, invisible in the hot loop but prompt for cancellation.
+const ctxCheckMask = 1<<12 - 1
+
+// ProfileContext is Profile honouring ctx: a cancelled or expired context
+// stops the functional run within a few thousand instructions and returns
+// ctx.Err().
+func ProfileContext(ctx context.Context, p *program.Program, opts ProfileOptions) ([]Region, error) {
 	opts.fill()
+	done := ctx.Done()
 	if opts.Sampling != nil {
 		if err := opts.Sampling.Validate(); err != nil {
 			return nil, err
@@ -78,6 +91,13 @@ func Profile(p *program.Program, opts ProfileOptions) ([]Region, error) {
 	if opts.Sampling == nil {
 		// Warm-up: train the caches without recording anything.
 		for w := int64(0); w < opts.WarmInsts && !st.Halted; w++ {
+			if done != nil && w&ctxCheckMask == 0 {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			e, err := st.Step()
 			if err != nil {
 				return nil, fmt.Errorf("profile %s (warm-up): %w", p.Name, err)
@@ -119,6 +139,13 @@ func Profile(p *program.Program, opts ProfileOptions) ([]Region, error) {
 	n := st.Count
 	var measured int64
 	for measured < opts.MaxInsts && !st.Halted {
+		if done != nil && st.Count&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		phase := sampling.On
 		if opts.Sampling != nil {
 			phase, _ = opts.Sampling.PhaseAt(st.Count)

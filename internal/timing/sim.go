@@ -1,6 +1,7 @@
 package timing
 
 import (
+	"context"
 	"fmt"
 
 	"preexec/internal/branch"
@@ -100,17 +101,42 @@ func Run(prog *program.Program, pts []*pthread.PThread, cfg Config) (Stats, erro
 	return New(prog, pts, cfg).Run()
 }
 
+// RunContext simulates to completion, honouring ctx: a cancelled or expired
+// context stops the simulation within a few thousand cycles and returns
+// ctx.Err().
+func RunContext(ctx context.Context, prog *program.Program, pts []*pthread.PThread, cfg Config) (Stats, error) {
+	return New(prog, pts, cfg).RunContext(ctx)
+}
+
 // Run executes the simulation loop.
 func (s *Sim) Run() (Stats, error) {
+	return s.RunContext(context.Background())
+}
+
+// ctxCheckMask gates how often the simulation loop polls ctx.Done(): every
+// 4096 cycles, cheap enough to be invisible in the hot loop yet prompt
+// enough (microseconds of host time) for interactive cancellation.
+const ctxCheckMask = 1<<12 - 1
+
+// RunContext executes the simulation loop under a context.
+func (s *Sim) RunContext(ctx context.Context) (Stats, error) {
 	total := s.cfg.WarmInsts + s.cfg.MaxInsts
 	if total < 0 { // overflow of the "unbounded" default
 		total = s.cfg.MaxInsts
 	}
 	guard := total*64 + 1_000_000 // deadlock/livelock backstop
+	done := ctx.Done()
 	var warm Stats
 	var warmCycle int64
 	warmed := s.cfg.WarmInsts == 0
 	for {
+		if done != nil && s.cycle&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return s.stats, ctx.Err()
+			default:
+			}
+		}
 		s.retire()
 		s.issue()
 		s.rename()

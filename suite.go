@@ -1,0 +1,212 @@
+package preexec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of suite work: a program evaluated under an engine.
+type Job struct {
+	// Name labels the job in progress events (default: Program.Name).
+	Name    string
+	Program *Program
+	// Engine overrides the suite's engine for this job (nil = the suite's).
+	// Per-job engines are how experiment sweeps evaluate one benchmark under
+	// many configurations concurrently.
+	Engine *Engine
+}
+
+// SuiteEvent is one streaming progress notification.
+type SuiteEvent struct {
+	// Index is the job's position in the input slice; Total the job count.
+	Index int
+	Total int
+	// Done is the number of jobs completed so far, including this one.
+	Done int
+	Name string
+	// Report is the job's result; nil when Err is non-nil, and for
+	// progress sources (e.g. the experiment tables) whose unit of work is
+	// not a full evaluation.
+	Report *Report
+	Err    error
+}
+
+// ParallelEach runs fn(i) for every i in [0, n) across a bounded worker
+// pool (workers <= 0 selects GOMAXPROCS). The first error cancels the
+// context passed to the remaining calls and is returned once the pool
+// drains; index association is the caller's (write results[i] inside fn).
+// Suite.Run and the experiment tables are built on it.
+func ParallelEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		rootErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					if rootErr == nil {
+						rootErr = err
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if rootErr != nil {
+		return rootErr
+	}
+	return ctx.Err()
+}
+
+// Suite evaluates many jobs concurrently across a bounded worker pool.
+// Results are returned in input order regardless of completion order, and —
+// because every evaluation is hermetic (each simulation clones its own
+// architectural state) — are bit-for-bit identical to a serial run.
+type Suite struct {
+	// Engine is the default engine (nil = New()).
+	Engine *Engine
+	// Workers bounds concurrent evaluations (<= 0 = GOMAXPROCS).
+	Workers int
+	// Progress, if non-nil, is called once per completed job. Calls are
+	// serialized and may come from any worker goroutine.
+	Progress func(SuiteEvent)
+}
+
+func (s *Suite) workers(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run evaluates every job and returns their reports in input order. The
+// first failure cancels the jobs still in flight and is returned after all
+// workers drain; reports of jobs that completed before the failure are
+// still filled in. Cancelling ctx stops the suite the same way.
+func (s *Suite) Run(ctx context.Context, jobs []Job) ([]Report, error) {
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	def := s.Engine
+	if def == nil {
+		def = New()
+	}
+
+	reports := make([]Report, len(jobs))
+	var (
+		mu   sync.Mutex // guards done and Progress calls
+		done int
+	)
+	err := ParallelEach(ctx, s.workers(len(jobs)), len(jobs), func(ctx context.Context, i int) error {
+		job := jobs[i]
+		eng := job.Engine
+		if eng == nil {
+			eng = def
+		}
+		name := job.Name
+		if name == "" && job.Program != nil {
+			name = job.Program.Name
+		}
+		var (
+			rep Report
+			err error
+		)
+		if job.Program == nil {
+			err = fmt.Errorf("preexec: suite job %d (%q) has no program", i, name)
+		} else {
+			rep, err = eng.Evaluate(ctx, job.Program)
+		}
+		if err == nil {
+			reports[i] = rep
+		}
+		mu.Lock()
+		done++
+		if s.Progress != nil {
+			ev := SuiteEvent{Index: i, Total: len(jobs), Done: done, Name: name, Err: err}
+			if err == nil {
+				ev.Report = &reports[i]
+			}
+			s.Progress(ev)
+		}
+		mu.Unlock()
+		return err
+	})
+	return reports, err
+}
+
+// Evaluate runs the full pipeline on each program concurrently and returns
+// the reports in input order.
+func (s *Suite) Evaluate(ctx context.Context, progs ...*Program) ([]Report, error) {
+	return s.Run(ctx, jobsFor(progs))
+}
+
+func jobsFor(progs []*Program) []Job {
+	jobs := make([]Job, len(progs))
+	for i, p := range progs {
+		jobs[i] = Job{Program: p}
+	}
+	return jobs
+}
+
+// EvaluateSuite is the one-call convenience: it builds every named
+// benchmark at the given scale (all of them when names is empty) and
+// evaluates the suite concurrently under eng.
+func EvaluateSuite(ctx context.Context, eng *Engine, names []string, scale int, workers int, progress func(SuiteEvent)) ([]Report, error) {
+	if len(names) == 0 {
+		names = WorkloadNames()
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	progs := make([]*Program, len(names))
+	for i, name := range names {
+		w, err := WorkloadByName(name)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = w.Build(scale)
+	}
+	s := &Suite{Engine: eng, Workers: workers, Progress: progress}
+	return s.Evaluate(ctx, progs...)
+}

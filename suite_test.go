@@ -1,0 +1,179 @@
+package preexec_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"preexec"
+)
+
+func suiteBenches(t testing.TB, names ...string) []*preexec.Program {
+	t.Helper()
+	progs := make([]*preexec.Program, len(names))
+	for i, n := range names {
+		progs[i] = buildBench(t, n)
+	}
+	return progs
+}
+
+// TestSuiteParallelMatchesSerial is the acceptance check for the concurrent
+// runner: the worker pool must produce reports bit-for-bit identical to a
+// serial run, in the same (input) order.
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	progs := suiteBenches(t, "vpr.p", "crafty", "vpr.r", "bzip2")
+	eng := preexec.New(preexec.WithMachine(testMachine()))
+
+	serial, err := (&preexec.Suite{Engine: eng, Workers: 1}).Evaluate(t.Context(), progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&preexec.Suite{Engine: eng, Workers: 4}).Evaluate(t.Context(), progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(progs) || len(parallel) != len(progs) {
+		t.Fatalf("lengths: serial %d parallel %d, want %d", len(serial), len(parallel), len(progs))
+	}
+	for i := range serial {
+		if serial[i].Program != progs[i].Name {
+			t.Errorf("result %d out of order: %s, want %s", i, serial[i].Program, progs[i].Name)
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: parallel report diverges from serial", progs[i].Name)
+		}
+	}
+}
+
+// TestSuiteProgressStreaming checks the streaming callback: one event per
+// job, serialized, with a monotonically increasing Done counter.
+func TestSuiteProgressStreaming(t *testing.T) {
+	progs := suiteBenches(t, "vpr.p", "crafty", "vpr.r")
+	var events []preexec.SuiteEvent
+	s := &preexec.Suite{
+		Engine:   preexec.New(preexec.WithMachine(testMachine())),
+		Workers:  3,
+		Progress: func(ev preexec.SuiteEvent) { events = append(events, ev) },
+	}
+	if _, err := s.Evaluate(t.Context(), progs...); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(progs) {
+		t.Fatalf("events = %d, want %d", len(events), len(progs))
+	}
+	seen := map[int]bool{}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(progs) {
+			t.Errorf("event %d: Done/Total = %d/%d, want %d/%d", i, ev.Done, ev.Total, i+1, len(progs))
+		}
+		if ev.Err != nil || ev.Report == nil {
+			t.Errorf("event %d: err=%v report=%v", i, ev.Err, ev.Report)
+		}
+		if seen[ev.Index] {
+			t.Errorf("index %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Report != nil && ev.Report.Program != progs[ev.Index].Name {
+			t.Errorf("event %d: report for %s at index %d (%s)", i, ev.Report.Program, ev.Index, progs[ev.Index].Name)
+		}
+	}
+}
+
+// failingSimulator errors on a chosen program to exercise suite error
+// propagation and cancellation of in-flight jobs.
+type failingSimulator struct {
+	failOn string
+	inner  preexec.Simulator
+}
+
+type passthroughSimulator struct{}
+
+func (passthroughSimulator) Simulate(ctx context.Context, p *preexec.Program, pts []*preexec.PThread, cfg preexec.TimingConfig) (preexec.Stats, error) {
+	eng := preexec.New()
+	_ = cfg
+	return eng.Simulate(ctx, p, pts, cfg.Mode)
+}
+
+func (f *failingSimulator) Simulate(ctx context.Context, p *preexec.Program, pts []*preexec.PThread, cfg preexec.TimingConfig) (preexec.Stats, error) {
+	if p.Name == f.failOn {
+		return preexec.Stats{}, fmt.Errorf("injected failure for %s", p.Name)
+	}
+	return f.inner.Simulate(ctx, p, pts, cfg)
+}
+
+func TestSuiteErrorPropagates(t *testing.T) {
+	progs := suiteBenches(t, "vpr.p", "crafty", "vpr.r")
+	eng := preexec.New(
+		preexec.WithMachine(testMachine()),
+		preexec.WithSimulator(&failingSimulator{failOn: "crafty", inner: passthroughSimulator{}}),
+	)
+	_, err := (&preexec.Suite{Engine: eng, Workers: 2}).Evaluate(t.Context(), progs...)
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+}
+
+// TestSuiteNilProgram checks a job without a program surfaces as an error,
+// not a worker-goroutine panic.
+func TestSuiteNilProgram(t *testing.T) {
+	_, err := (&preexec.Suite{}).Run(t.Context(), []preexec.Job{{Name: "empty"}})
+	if err == nil || !strings.Contains(err.Error(), "has no program") {
+		t.Fatalf("err = %v, want no-program error", err)
+	}
+}
+
+// TestSuiteCancellation proves cancelling the suite context stops the pool
+// promptly and surfaces context.Canceled.
+func TestSuiteCancellation(t *testing.T) {
+	// Large evaluations so cancellation lands mid-flight.
+	var progs []*preexec.Program
+	for _, n := range []string{"mcf", "gcc", "parser", "vortex"} {
+		w, err := preexec.WorkloadByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, w.Build(4))
+	}
+	machine := preexec.DefaultMachine()
+	machine.MeasureInsts = 4_000_000
+	eng := preexec.New(preexec.WithMachine(machine))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Bool
+	go func() {
+		for !started.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	started.Store(true)
+	start := time.Now()
+	_, err := (&preexec.Suite{Engine: eng, Workers: 2}).Evaluate(ctx, progs...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("suite cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestEvaluateSuiteConvenience exercises the one-call helper end to end.
+func TestEvaluateSuiteConvenience(t *testing.T) {
+	eng := preexec.New(preexec.WithMachine(testMachine()))
+	reps, err := preexec.EvaluateSuite(t.Context(), eng, []string{"vpr.p", "crafty"}, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].Program != "vpr.p" || reps[1].Program != "crafty" {
+		t.Fatalf("unexpected reports: %+v", reps)
+	}
+	if _, err := preexec.EvaluateSuite(t.Context(), eng, []string{"nope"}, 1, 1, nil); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
