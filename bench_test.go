@@ -16,7 +16,12 @@ import (
 	"testing"
 
 	"preexec"
+	"preexec/internal/advantage"
 	"preexec/internal/experiments"
+	"preexec/internal/selector"
+	"preexec/internal/slice"
+	"preexec/internal/timing"
+	"preexec/internal/workload"
 )
 
 func benchOpts() experiments.Options {
@@ -114,6 +119,65 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Width(context.Background(), benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSim measures one bare timing.Run (50k measured instructions, base
+// mode) so the simulator hot loop is observable in isolation from profiling
+// and selection. These are the benchmarks cmd/benchsnap snapshots into
+// BENCH_baseline.json and that CI guards against allocation regressions.
+func benchSim(b *testing.B, name string) {
+	b.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(1)
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.Run(p, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimBzip2(b *testing.B)  { benchSim(b, "bzip2") }
+func BenchmarkSimCrafty(b *testing.B) { benchSim(b, "crafty") }
+func BenchmarkSimGap(b *testing.B)    { benchSim(b, "gap") }
+func BenchmarkSimGcc(b *testing.B)    { benchSim(b, "gcc") }
+func BenchmarkSimMcf(b *testing.B)    { benchSim(b, "mcf") }
+func BenchmarkSimParser(b *testing.B) { benchSim(b, "parser") }
+func BenchmarkSimTwolf(b *testing.B)  { benchSim(b, "twolf") }
+func BenchmarkSimVortex(b *testing.B) { benchSim(b, "vortex") }
+func BenchmarkSimVprP(b *testing.B)   { benchSim(b, "vpr.p") }
+func BenchmarkSimVprR(b *testing.B)   { benchSim(b, "vpr.r") }
+
+// BenchmarkSimVprPPreexec exercises the pre-execution paths of the hot loop
+// (launch, burst injection, p-thread memory traffic) that the base-mode
+// BenchmarkSim* benchmarks never reach.
+func BenchmarkSimVprPPreexec(b *testing.B) {
+	w, err := workload.ByName("vpr.p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(1)
+	forest, err := slice.ProfileWhole(p, slice.ProfileOptions{MaxInsts: 50_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := selector.SelectForest(forest, selector.Options{Params: advantage.DefaultParams(1.5), Merge: true})
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	cfg.Mode = timing.ModeNormal
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.Run(p, res.PThreads, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,232 @@
+// Command benchsnap snapshots the simulator micro-benchmarks
+// (BenchmarkSim<workload>: one bare timing.Run of 50k instructions each,
+// mirroring the root bench_test.go targets) into a JSON baseline, and checks
+// a fresh run against a committed baseline.
+//
+//	benchsnap -o BENCH_baseline.json          # record a baseline
+//	benchsnap -check BENCH_baseline.json      # fail on gross regressions
+//
+// Checking compares allocations per op — the machine-independent regression
+// signal the zero-allocation core is defended by — against a tolerance
+// (default 30%, plus a small absolute slack for map-growth noise). Time per
+// op is printed for information but never fails the check: the baseline's
+// nanoseconds were measured on whatever machine recorded it, not on the
+// machine running the check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"preexec/internal/advantage"
+	"preexec/internal/selector"
+	"preexec/internal/slice"
+	"preexec/internal/timing"
+	"preexec/internal/workload"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Snapshot is the file format: benchmark name -> measurement, plus the
+// environment the times were recorded on.
+type Snapshot struct {
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	RecordedAt string            `json:"recorded_at"`
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// simBench returns the closure benchmarking one bare base-mode timing.Run,
+// identical in shape to the root package's BenchmarkSim<workload> targets.
+func simBench(name string) (func(b *testing.B), error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p := w.Build(1)
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timing.Run(p, nil, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+// preexecBench returns the closure for the pre-execution-mode benchmark
+// (BenchmarkSimVprPPreexec's shape): profile + select once, then measure
+// timing.Run with the selected p-threads.
+func preexecBench() (func(b *testing.B), error) {
+	w, err := workload.ByName("vpr.p")
+	if err != nil {
+		return nil, err
+	}
+	p := w.Build(1)
+	forest, err := slice.ProfileWhole(p, slice.ProfileOptions{MaxInsts: 50_000})
+	if err != nil {
+		return nil, err
+	}
+	res := selector.SelectForest(forest, selector.Options{Params: advantage.DefaultParams(1.5), Merge: true})
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	cfg.Mode = timing.ModeNormal
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timing.Run(p, res.PThreads, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+// benchName converts a workload name to its benchmark identifier
+// (vpr.p -> BenchmarkSimVprP).
+func benchName(w string) string {
+	out := []rune{}
+	up := true
+	for _, r := range w {
+		if r == '.' {
+			up = true
+			continue
+		}
+		if up {
+			if r >= 'a' && r <= 'z' {
+				r -= 'a' - 'A'
+			}
+			up = false
+		}
+		out = append(out, r)
+	}
+	return "BenchmarkSim" + string(out)
+}
+
+func measure() (map[string]Result, error) {
+	out := make(map[string]Result)
+	for _, name := range workload.Names() {
+		fn, err := simBench(name)
+		if err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(fn)
+		out[benchName(name)] = Result{NsOp: float64(r.NsPerOp()), BOp: r.AllocedBytesPerOp(), AllocsOp: r.AllocsPerOp()}
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			benchName(name), float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	fn, err := preexecBench()
+	if err != nil {
+		return nil, err
+	}
+	r := testing.Benchmark(fn)
+	out["BenchmarkSimVprPPreexec"] = Result{NsOp: float64(r.NsPerOp()), BOp: r.AllocedBytesPerOp(), AllocsOp: r.AllocsPerOp()}
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		"BenchmarkSimVprPPreexec", float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	return out, nil
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "record a baseline snapshot to this file")
+		check     = flag.String("check", "", "compare a fresh run against this baseline, failing on gross allocation regressions")
+		tolerance = flag.Float64("tolerance", 0.30, "fractional allocs/op regression tolerated by -check")
+		slack     = flag.Int64("slack", 32, "absolute allocs/op regression always tolerated (map growth noise)")
+	)
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "usage: benchsnap -o FILE | -check FILE [-tolerance 0.30]")
+		os.Exit(2)
+	}
+
+	got, err := measure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		snap := Snapshot{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			RecordedAt: time.Now().UTC().Format(time.RFC3339),
+			Note:       "ns_op is informational (machine-dependent); -check gates on allocs_op only",
+			Benchmarks: got,
+		}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d benchmarks to %s\n", len(got), *out)
+		return
+	}
+
+	buf, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", *check, err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Printf("MISSING %s: in baseline but not measured\n", name)
+			failed = true
+			continue
+		}
+		limit := int64(float64(want.AllocsOp)*(1+*tolerance)) + *slack
+		status := "ok"
+		if have.AllocsOp > limit {
+			status = "ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s allocs/op %8d -> %8d (limit %d)  time %.1fms -> %.1fms [informational]  %s\n",
+			name, want.AllocsOp, have.AllocsOp, limit, want.NsOp/1e6, have.NsOp/1e6, status)
+	}
+	// A benchmark measured but absent from the baseline has no allocation
+	// gate at all — force the baseline to be regenerated alongside the new
+	// benchmark rather than passing silently ungated.
+	measured := make([]string, 0, len(got))
+	for name := range got {
+		measured = append(measured, name)
+	}
+	sort.Strings(measured)
+	for _, name := range measured {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("NEW %s: measured but not in baseline; regenerate with benchsnap -o\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("benchsnap: gross regression against", *check)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: %d benchmarks within tolerance of %s\n", len(names), *check)
+}

@@ -210,12 +210,45 @@ type BodyResult struct {
 // the buffer first, modeling store-to-load forwarding inside the p-thread.
 // Control-flow instructions are architecturally invalid in p-thread bodies
 // (p-threads are control-less, paper §2) and are executed as NOPs.
+//
+// ExecBody allocates its result afresh; hot callers that execute bodies
+// repeatedly (the timing simulator launches one per dynamic p-thread) should
+// hold a BodyExec and reuse its scratch instead.
 func ExecBody(body []isa.Inst, regs []int64, m *mem.Memory) BodyResult {
-	res := BodyResult{
-		EffAddrs:     make([]int64, len(body)),
-		FromStoreBuf: make([]bool, len(body)),
+	var x BodyExec
+	r := x.Exec(body, regs, m)
+	out := BodyResult{
+		EffAddrs:     make([]int64, len(r.EffAddrs)),
+		FromStoreBuf: make([]bool, len(r.FromStoreBuf)),
 	}
-	var storeBuf map[int64]int64
+	copy(out.EffAddrs, r.EffAddrs)
+	copy(out.FromStoreBuf, r.FromStoreBuf)
+	return out
+}
+
+// BodyExec executes p-thread bodies with reusable scratch: the result slices
+// and the speculative store buffer are retained between calls, so a warm
+// executor allocates nothing. The zero value is ready to use. Not safe for
+// concurrent use.
+type BodyExec struct {
+	res      BodyResult
+	storeBuf map[int64]int64
+}
+
+// Exec is ExecBody against the executor's reusable scratch. The returned
+// result is valid until the next Exec call.
+func (x *BodyExec) Exec(body []isa.Inst, regs []int64, m *mem.Memory) *BodyResult {
+	if cap(x.res.EffAddrs) < len(body) {
+		x.res.EffAddrs = make([]int64, len(body))
+		x.res.FromStoreBuf = make([]bool, len(body))
+	} else {
+		x.res.EffAddrs = x.res.EffAddrs[:len(body)]
+		x.res.FromStoreBuf = x.res.FromStoreBuf[:len(body)]
+		clear(x.res.EffAddrs)
+		clear(x.res.FromStoreBuf)
+	}
+	res := &x.res
+	bufUsed := false
 	rd := func(r isa.Reg) int64 {
 		if int(r) < len(regs) {
 			return regs[r]
@@ -234,8 +267,8 @@ func ExecBody(body []isa.Inst, regs []int64, m *mem.Memory) BodyResult {
 		case isa.ClassLoad:
 			addr := rd(in.Rs1) + in.Imm
 			res.EffAddrs[i] = addr
-			if storeBuf != nil {
-				if v, ok := storeBuf[addr&^7]; ok {
+			if bufUsed {
+				if v, ok := x.storeBuf[addr&^7]; ok {
 					res.FromStoreBuf[i] = true
 					wr(in.Rd, v)
 					continue
@@ -245,10 +278,15 @@ func ExecBody(body []isa.Inst, regs []int64, m *mem.Memory) BodyResult {
 		case isa.ClassStore:
 			addr := rd(in.Rs1) + in.Imm
 			res.EffAddrs[i] = addr
-			if storeBuf == nil {
-				storeBuf = make(map[int64]int64)
+			if !bufUsed {
+				if x.storeBuf == nil {
+					x.storeBuf = make(map[int64]int64)
+				} else {
+					clear(x.storeBuf)
+				}
+				bufUsed = true
 			}
-			storeBuf[addr&^7] = rd(in.Rs2)
+			x.storeBuf[addr&^7] = rd(in.Rs2)
 		default:
 			// NOP, control, HALT: control-less bodies treat these as NOPs.
 		}

@@ -3,6 +3,7 @@ package slice
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"preexec/internal/cache"
 	"preexec/internal/cpu"
@@ -11,6 +12,13 @@ import (
 	"preexec/internal/sampling"
 	"preexec/internal/trace"
 )
+
+// trackerPool recycles dataflow trackers across profiling runs: a tracker's
+// ring is Scope entries (~100KB at the default 1024), and engines and the
+// suite runner profile every workload per Evaluate, so reuse removes the
+// dominant per-profile allocation. Trackers are Reset before use and retain
+// no references into published results.
+var trackerPool = sync.Pool{New: func() any { return new(trace.Tracker) }}
 
 // ProfileOptions configures a functional profiling run.
 type ProfileOptions struct {
@@ -85,7 +93,9 @@ func ProfileContext(ctx context.Context, p *program.Program, opts ProfileOptions
 		}
 	}
 	st := cpu.New(p)
-	tr := trace.NewTracker(opts.Scope)
+	tr := trackerPool.Get().(*trace.Tracker)
+	tr.Reset(opts.Scope)
+	defer trackerPool.Put(tr)
 	sl := &Slicer{MaxLen: opts.MaxSlice}
 
 	if opts.Sampling == nil {
@@ -117,21 +127,22 @@ func ProfileContext(ctx context.Context, p *program.Program, opts ProfileOptions
 	var regionMeasured int64
 	closeRegion := func(end int64) {
 		forest.Insts = regionMeasured
-		// Snapshot per-PC counts for this region: the tracker counts
-		// globally, so diff against the previous snapshot.
 		regions = append(regions, Region{Start: regionStart, End: end, Forest: forest})
 		regionStart = end
 		regionMeasured = 0
-		forest = NewForest()
+		// Consecutive regions of a program touch similar static instruction
+		// sets, so the closed region's counts are good capacity hints.
+		forest = NewForestSized(len(forest.Trees), len(forest.DCtrig))
 	}
-	prevDCtrig := make(map[int]int64)
+	// Snapshot per-PC counts for a region in one pass: the tracker counts
+	// globally, so diff against (and refresh) the reused previous-snapshot
+	// scratch.
+	prevDCtrig := make(map[int]int64, 256)
 	snapshotDCtrig := func(f *Forest) {
 		for pc, n := range tr.DCtrig {
 			if d := n - prevDCtrig[pc]; d > 0 {
 				f.DCtrig[pc] = d
 			}
-		}
-		for pc, n := range tr.DCtrig {
 			prevDCtrig[pc] = n
 		}
 	}

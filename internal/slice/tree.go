@@ -187,6 +187,14 @@ func NewForest() *Forest {
 	return &Forest{Trees: make(map[int]*Tree), DCtrig: make(map[int]int64)}
 }
 
+// NewForestSized returns an empty forest whose maps are pre-sized for the
+// given tree and trigger counts — regioned profiling sizes each region's
+// forest from the previous region's, since consecutive regions of a program
+// touch similar static instruction sets.
+func NewForestSized(trees, trigs int) *Forest {
+	return &Forest{Trees: make(map[int]*Tree, trees), DCtrig: make(map[int]int64, trigs)}
+}
+
 // TreeFor returns (creating if needed) the tree rooted at the given load.
 func (f *Forest) TreeFor(pc int, op isa.Inst) *Tree {
 	t := f.Trees[pc]

@@ -13,6 +13,14 @@
 // launches are not simulated — the one deliberate divergence from the paper,
 // whose own selection model also ignores wrong-path triggers (§4.3); see
 // DESIGN.md.
+//
+// Performance invariant: the hot path (sim.go) is heavily optimized — uop
+// arena, event-driven issue scheduling, idle-cycle fast-forward — but
+// optimizations must preserve bit-for-bit identical Stats. The frozen
+// pre-optimization core in refsim_test.go and the equivalence tests in
+// equiv_test.go enforce this; model changes must update both cores in the
+// same commit. BENCH_baseline.json at the repository root records the
+// micro-benchmark baseline that CI guards (cmd/benchsnap).
 package timing
 
 import (

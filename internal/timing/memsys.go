@@ -8,11 +8,20 @@ import "preexec/internal/cache"
 // memory bus at quarter frequency), both modeled as busy-until cursors so
 // concurrent misses queue behind each other — the contention the paper
 // identifies as the source of full-coverage over-estimation (§4.3).
+//
+// Latencies are flattened to int64 once at construction so the per-access
+// hot path does no repeated Config field loads or int conversions.
 type memsys struct {
-	cfg   Config
 	l1d   *cache.Cache
 	l2    *cache.Cache
 	stats *Stats
+
+	l1dLat        int64
+	l2Lat         int64
+	memLat        int64
+	backsideBusCy int64
+	memBusCy      int64
+	mshrs         int
 
 	backsideFree int64
 	membusFree   int64
@@ -24,7 +33,18 @@ func newMemsys(cfg Config, stats *Stats) *memsys {
 	if h == nil {
 		h = cache.DefaultHierarchy()
 	}
-	return &memsys{cfg: cfg, l1d: h.L1D, l2: h.L2, stats: stats}
+	return &memsys{
+		l1d:           h.L1D,
+		l2:            h.L2,
+		stats:         stats,
+		l1dLat:        int64(cfg.L1DLat),
+		l2Lat:         int64(cfg.L2Lat),
+		memLat:        int64(cfg.MemLat),
+		backsideBusCy: int64(cfg.BacksideBusCy),
+		memBusCy:      int64(cfg.MemBusCy),
+		mshrs:         cfg.MSHRs,
+		mshr:          make([]int64, 0, cfg.MSHRs),
+	}
 }
 
 // busWait reserves the bus for occ cycles starting no earlier than now and
@@ -54,7 +74,7 @@ func (m *memsys) mshrWait(now int64) int64 {
 		}
 	}
 	m.mshr = live
-	if len(m.mshr) < m.cfg.MSHRs {
+	if len(m.mshr) < m.mshrs {
 		return 0
 	}
 	return minRel - now
@@ -75,7 +95,7 @@ func (m *memsys) l2Access(addr int64, t int64, pt bool) int64 {
 				m.stats.MissesFullCovered++
 				line.BroughtByPt = false
 			}
-			return t + int64(m.cfg.L2Lat)
+			return t + m.l2Lat
 		default:
 			// In flight: wait for the fill.
 			if !pt && line.BroughtByPt {
@@ -83,16 +103,16 @@ func (m *memsys) l2Access(addr int64, t int64, pt bool) int64 {
 				line.BroughtByPt = false
 			}
 			ready := line.ReadyAt
-			if ready < t+int64(m.cfg.L2Lat) {
-				ready = t + int64(m.cfg.L2Lat)
+			if ready < t+m.l2Lat {
+				ready = t + m.l2Lat
 			}
 			return ready
 		}
 	}
 	// L2 miss: allocate MSHR, cross the memory bus, fetch from memory.
 	delay := m.mshrWait(t)
-	delay += busWait(&m.membusFree, t+delay, int64(m.cfg.MemBusCy))
-	ready := t + delay + int64(m.cfg.L2Lat) + int64(m.cfg.MemLat)
+	delay += busWait(&m.membusFree, t+delay, m.memBusCy)
+	ready := t + delay + m.l2Lat + m.memLat
 	m.mshr = append(m.mshr, ready)
 	line.ReadyAt = ready
 	line.BroughtByPt = pt
@@ -109,14 +129,14 @@ func (m *memsys) l2Access(addr int64, t int64, pt bool) int64 {
 func (m *memsys) mainLoad(addr int64, t int64) int64 {
 	hit, _, l1 := m.l1d.Access(addr, false)
 	if hit && l1.ReadyAt <= t {
-		return t + int64(m.cfg.L1DLat)
+		return t + m.l1dLat
 	}
 	if hit {
 		// L1 fill in flight (e.g. an earlier miss to the same line).
 		return l1.ReadyAt
 	}
-	t1 := t + int64(m.cfg.L1DLat) // miss determined after the L1 probe
-	t1 += busWait(&m.backsideFree, t1, int64(m.cfg.BacksideBusCy))
+	t1 := t + m.l1dLat // miss determined after the L1 probe
+	t1 += busWait(&m.backsideFree, t1, m.backsideBusCy)
 	ready := m.l2Access(addr, t1, false)
 	l1.ReadyAt = ready
 	return ready
@@ -136,16 +156,16 @@ func (m *memsys) mainStore(addr int64, t int64) {
 	if hit {
 		return
 	}
-	busWait(&m.backsideFree, t, int64(m.cfg.BacksideBusCy))
+	busWait(&m.backsideFree, t, m.backsideBusCy)
 	if victimDirty {
-		busWait(&m.backsideFree, t, int64(m.cfg.BacksideBusCy))
+		busWait(&m.backsideFree, t, m.backsideBusCy)
 	}
 	l2hit, _, l2 := m.l2.Access(addr, true)
 	if !l2hit {
 		// Write allocate; occupies the memory bus but the store queue hides
 		// the latency from the pipeline.
-		busWait(&m.membusFree, t, int64(m.cfg.MemBusCy))
-		l2.ReadyAt = t + int64(m.cfg.L2Lat) + int64(m.cfg.MemLat)
+		busWait(&m.membusFree, t, m.memBusCy)
+		l2.ReadyAt = t + m.l2Lat + m.memLat
 	}
-	l1.ReadyAt = t + int64(m.cfg.L1DLat)
+	l1.ReadyAt = t + m.l1dLat
 }

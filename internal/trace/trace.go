@@ -47,17 +47,36 @@ type Tracker struct {
 // NewTracker returns a tracker with the given slicing scope (in dynamic
 // instructions).
 func NewTracker(scope int) *Tracker {
-	t := &Tracker{
-		scope:   scope,
-		ring:    make([]Entry, scope),
-		lastSeq: -1,
-		memProd: make(map[int64]int64),
-		DCtrig:  make(map[int]int64),
+	t := &Tracker{}
+	t.Reset(scope)
+	return t
+}
+
+// Reset returns the tracker to its initial state with the given scope,
+// reusing the ring's backing array and the maps when possible so a pooled
+// tracker costs no steady-state allocation. It works on the zero Tracker.
+func (t *Tracker) Reset(scope int) {
+	t.scope = scope
+	if cap(t.ring) >= scope {
+		t.ring = t.ring[:scope]
+		clear(t.ring) // drop stale entries so Get can never alias across runs
+	} else {
+		t.ring = make([]Entry, scope)
 	}
+	t.n, t.firstSeq, t.lastSeq = 0, 0, -1
 	for i := range t.regProd {
 		t.regProd[i] = NoProducer
 	}
-	return t
+	if t.memProd == nil {
+		t.memProd = make(map[int64]int64)
+	} else {
+		clear(t.memProd)
+	}
+	if t.DCtrig == nil {
+		t.DCtrig = make(map[int]int64)
+	} else {
+		clear(t.DCtrig)
+	}
 }
 
 // Scope returns the tracker's window size.
