@@ -1,0 +1,178 @@
+package preexec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// StageCache memoizes the expensive, selection-independent stages of the
+// evaluation pipeline across engines that share it: base timing runs and
+// functional profiles. The paper's framework explicitly decouples these
+// stages — one profile and one base run can serve many selection variants
+// (§4) — so a sweep whose cells differ only in selection or ablation knobs
+// performs each per-benchmark stage once.
+//
+// Entries are keyed by program identity (pointer) plus only the
+// configuration fields that feed the stage:
+//
+//   - base timing runs: the full normalized timing.Config — which an Engine
+//     derives from MachineConfig alone — with NoRSThrottle cleared, since
+//     the injection throttle only gates p-thread bursts and a base run has
+//     no p-threads. Only nil-p-thread ModeBase runs are cached; p-thread
+//     runs depend on the selection and are never shared.
+//   - profiles: the full ProfileOptions (warm-up, profile window, scope,
+//     max slice length, region granularity) plus the profiled program —
+//     which may be the selection target (SelectionConfig.ProfileOn), not
+//     the evaluated program.
+//
+// Cached profile regions are shared by pointer: selection only reads the
+// slice forests (paths and bodies are copied out), so concurrent selections
+// over one cached profile are safe and results stay bit-for-bit identical
+// to uncached runs (pinned by TestSweepSelectionGridCacheCounts).
+//
+// A StageCache is safe for concurrent use. Concurrent requests for the same
+// key are single-flighted: one computes, the rest wait for its result. A
+// failed computation (typically cancellation) is not memoized — the entry
+// is dropped and coalesced waiters retry with their own contexts, so one
+// sweep's cancellation cannot poison another sweep sharing the cache.
+//
+// Keys do not include the stage backends: every engine sharing a cache
+// must use the same Profiler and Simulator (see WithStageCache). Program
+// identity is the *Program pointer — rebuilt programs never hit — and
+// entries live as long as the cache does (no eviction), so scope a cache
+// to the sweeps that share its programs.
+type StageCache struct {
+	base    stageMap[baseKey, Stats]
+	profile stageMap[profileKey, []ProfileRegion]
+}
+
+// NewStageCache returns an empty stage cache ready for concurrent use.
+func NewStageCache() *StageCache { return &StageCache{} }
+
+// CacheStats counts a StageCache's activity: Runs are stage executions that
+// actually happened (cache misses), Hits are requests served from (or
+// coalesced onto) an existing entry. A selection-knob sweep (Figure 5's
+// opt/merge grid) over N benchmarks reports exactly N BaseRuns and N
+// ProfileRuns regardless of the grid size; a grid axis that feeds a stage
+// (scope, region granularity, memory latency) adds runs only to that
+// stage.
+type CacheStats struct {
+	BaseRuns    int64 `json:"base_runs"`
+	BaseHits    int64 `json:"base_hits"`
+	ProfileRuns int64 `json:"profile_runs"`
+	ProfileHits int64 `json:"profile_hits"`
+}
+
+// Stats returns a snapshot of the cache's cumulative hit/run counters.
+func (c *StageCache) Stats() CacheStats {
+	return CacheStats{
+		BaseRuns:    c.base.runs.Load(),
+		BaseHits:    c.base.hits.Load(),
+		ProfileRuns: c.profile.runs.Load(),
+		ProfileHits: c.profile.hits.Load(),
+	}
+}
+
+// sub returns the counter deltas since an earlier snapshot.
+func (s CacheStats) sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		BaseRuns:    s.BaseRuns - prev.BaseRuns,
+		BaseHits:    s.BaseHits - prev.BaseHits,
+		ProfileRuns: s.ProfileRuns - prev.ProfileRuns,
+		ProfileHits: s.ProfileHits - prev.ProfileHits,
+	}
+}
+
+type baseKey struct {
+	prog *Program
+	cfg  TimingConfig
+}
+
+type profileKey struct {
+	prog *Program
+	opts ProfileOptions
+}
+
+// baseStats returns the memoized base timing run for (p, cfg), computing it
+// on a miss. cfg must be a nil-p-thread ModeBase configuration.
+func (c *StageCache) baseStats(ctx context.Context, p *Program, cfg TimingConfig, compute func() (Stats, error)) (Stats, error) {
+	key := baseKey{prog: p, cfg: cfg}
+	// The injection throttle only gates p-thread bursts; with no p-threads
+	// it cannot fire, so ablation cells share the base run.
+	key.cfg.NoRSThrottle = false
+	return c.base.getOrCompute(ctx, key, compute)
+}
+
+// regions returns the memoized profile for (p, opts), computing it on a
+// miss. Callers must treat the returned regions as immutable.
+func (c *StageCache) regions(ctx context.Context, p *Program, opts ProfileOptions, compute func() ([]ProfileRegion, error)) ([]ProfileRegion, error) {
+	return c.profile.getOrCompute(ctx, profileKey{prog: p, opts: opts}, compute)
+}
+
+// stageMap is one memoized stage: a keyed set of single-flight entries.
+type stageMap[K comparable, V any] struct {
+	mu         sync.Mutex
+	m          map[K]*stageEntry[V]
+	runs, hits atomic.Int64
+}
+
+type stageEntry[V any] struct {
+	done   chan struct{} // closed when val/failed are set
+	val    V
+	failed bool
+}
+
+func (s *stageMap[K, V]) getOrCompute(ctx context.Context, key K, compute func() (V, error)) (V, error) {
+	var zero V
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		s.mu.Lock()
+		if e, ok := s.m[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-e.done:
+				if e.failed {
+					// The flight failed — typically its own caller's
+					// cancellation, which must not poison callers whose
+					// contexts are alive. The entry is already dropped;
+					// retry (and recompute if nobody else has).
+					continue
+				}
+				// Count hits only for waits that served a value, so
+				// hits+runs equals completed lookups even across failed,
+				// retried flights.
+				s.hits.Add(1)
+				return e.val, nil
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		}
+		if s.m == nil {
+			s.m = make(map[K]*stageEntry[V])
+		}
+		e := &stageEntry[V]{done: make(chan struct{})}
+		s.m[key] = e
+		s.mu.Unlock()
+		s.runs.Add(1)
+
+		v, err := compute()
+		if err != nil {
+			// Failures are not memoized: drop the entry so later requests
+			// recompute, then release the waiters that coalesced onto this
+			// flight. The failure is returned only to the caller whose
+			// compute it was.
+			s.mu.Lock()
+			delete(s.m, key)
+			s.mu.Unlock()
+			e.failed = true
+			close(e.done)
+			return zero, err
+		}
+		e.val = v
+		close(e.done)
+		return v, nil
+	}
+}

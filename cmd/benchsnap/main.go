@@ -1,7 +1,9 @@
 // Command benchsnap snapshots the simulator micro-benchmarks
 // (BenchmarkSim<workload>: one bare timing.Run of 50k instructions each,
-// mirroring the root bench_test.go targets) into a JSON baseline, and checks
-// a fresh run against a committed baseline.
+// mirroring the root bench_test.go targets) plus the sweep-memoization pair
+// (BenchmarkSweepCached/BenchmarkSweepUncached: the same selection grid with
+// and without the stage cache) into a JSON baseline, and checks a fresh run
+// against a committed baseline.
 //
 //	benchsnap -o BENCH_baseline.json          # record a baseline
 //	benchsnap -check BENCH_baseline.json      # fail on gross regressions
@@ -15,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"preexec"
 	"preexec/internal/advantage"
 	"preexec/internal/selector"
 	"preexec/internal/slice"
@@ -93,6 +97,35 @@ func preexecBench() (func(b *testing.B), error) {
 	}, nil
 }
 
+// sweepBench returns the closure benchmarking one memoized (cached) or
+// independent (uncached) selection sweep — a Figure-5-style four-point
+// opt/merge grid over three contrasting benchmarks — so the stage cache's
+// win is recorded in the baseline as a cached-vs-uncached pair. Selection
+// knobs feed neither the base timing run nor the profile, so the cached
+// sweep performs 3 of each where the uncached one performs 12.
+func sweepBench(cached bool) (func(b *testing.B), error) {
+	benches, err := preexec.SweepBenches([]string{"crafty", "gcc", "vpr.p"}, 1)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]preexec.ConfigPoint, 0, 4)
+	for _, name := range []string{"none", "merge", "opt", "opt+merge"} {
+		cfg := preexec.DefaultConfig()
+		cfg.Machine.WarmInsts, cfg.Machine.MeasureInsts = 10_000, 30_000
+		cfg.Selection.Optimize = name == "opt" || name == "opt+merge"
+		cfg.Selection.Merge = name == "merge" || name == "opt+merge"
+		points = append(points, preexec.ConfigPoint{Name: name, Config: cfg})
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := &preexec.Sweep{Workers: 2, NoCache: !cached}
+			if _, err := s.Run(context.Background(), benches, points); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
 // benchName converts a workload name to its benchmark identifier
 // (vpr.p -> BenchmarkSimVprP).
 func benchName(w string) string {
@@ -134,6 +167,22 @@ func measure() (map[string]Result, error) {
 	out["BenchmarkSimVprPPreexec"] = Result{NsOp: float64(r.NsPerOp()), BOp: r.AllocedBytesPerOp(), AllocsOp: r.AllocsPerOp()}
 	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
 		"BenchmarkSimVprPPreexec", float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	for _, sw := range []struct {
+		name   string
+		cached bool
+	}{
+		{"BenchmarkSweepCached", true},
+		{"BenchmarkSweepUncached", false},
+	} {
+		fn, err := sweepBench(sw.cached)
+		if err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(fn)
+		out[sw.name] = Result{NsOp: float64(r.NsPerOp()), BOp: r.AllocedBytesPerOp(), AllocsOp: r.AllocsPerOp()}
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			sw.name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
 	return out, nil
 }
 

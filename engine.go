@@ -59,6 +59,9 @@ type Engine struct {
 	profiler  Profiler
 	selector  Selector
 	simulator Simulator
+	// cache, if non-nil, memoizes base timing runs and profiles across
+	// engines sharing it (see StageCache and Sweep).
+	cache *StageCache
 }
 
 // Option customizes an Engine.
@@ -85,6 +88,17 @@ func WithSelector(s Selector) Option { return func(e *Engine) { e.selector = s }
 // WithSimulator swaps the timing-simulation backend.
 func WithSimulator(s Simulator) Option { return func(e *Engine) { e.simulator = s } }
 
+// WithStageCache attaches a shared stage cache: base timing runs and
+// profiles are memoized in it, so engines sharing one cache — a sweep's
+// cells — perform each per-benchmark stage once. Results are bit-for-bit
+// identical to uncached evaluation; see StageCache for the key structure.
+//
+// The cache keys on program and configuration, not on the stage backends:
+// every engine sharing a cache must use the same Profiler and Simulator
+// backends (as Sweep-built engines do), or cells will silently serve each
+// other's backend results.
+func WithStageCache(c *StageCache) Option { return func(e *Engine) { e.cache = c } }
+
 // New builds an Engine over the paper's base configuration (DefaultConfig)
 // and the reference stage implementations, then applies the options in
 // order.
@@ -105,19 +119,36 @@ func New(opts ...Option) *Engine {
 func (e *Engine) Config() Config { return e.cfg }
 
 // stages adapts the engine's pluggable backends onto the internal
-// orchestration hooks.
+// orchestration hooks, routing the cacheable stages — profiles and
+// nil-p-thread base runs — through the stage cache when one is attached.
 func (e *Engine) stages() core.Stages {
 	return core.Stages{
 		Profile: func(ctx context.Context, p *program.Program, opts slice.ProfileOptions) ([]slice.Region, error) {
-			return e.profiler.Profile(ctx, p, opts)
+			return e.profile(ctx, p, opts)
 		},
 		Select: func(regions []slice.Region, opts selector.Options, regioned bool) selector.Result {
 			return e.selector.Select(regions, opts, regioned)
 		},
 		Simulate: func(ctx context.Context, p *program.Program, pts []*pthread.PThread, cfg timing.Config) (timing.Stats, error) {
+			if e.cache != nil && pts == nil && cfg.Mode == timing.ModeBase {
+				return e.cache.baseStats(ctx, p, cfg, func() (Stats, error) {
+					return e.simulator.Simulate(ctx, p, nil, cfg)
+				})
+			}
 			return e.simulator.Simulate(ctx, p, pts, cfg)
 		},
 	}
+}
+
+// profile runs the profiling backend through the stage cache when one is
+// attached.
+func (e *Engine) profile(ctx context.Context, p *Program, opts ProfileOptions) ([]ProfileRegion, error) {
+	if e.cache != nil {
+		return e.cache.regions(ctx, p, opts, func() ([]ProfileRegion, error) {
+			return e.profiler.Profile(ctx, p, opts)
+		})
+	}
+	return e.profiler.Profile(ctx, p, opts)
 }
 
 // Evaluate runs the full pipeline on one program: base timing run,
@@ -135,9 +166,12 @@ func (e *Engine) Evaluate(ctx context.Context, p *Program) (Report, error) {
 // selection parameters, returning the slice-tree regions (a single region
 // unless Selection.RegionInsts is set). The forest of the first region is
 // what tsim -profile persists for tselect.
+//
+// With a stage cache attached (WithStageCache) the regions may be shared
+// with other engines: treat them as immutable.
 func (e *Engine) Profile(ctx context.Context, p *Program) ([]ProfileRegion, error) {
 	cfg := e.cfg.core().WithDefaults()
-	return e.profiler.Profile(ctx, p, ProfileOptions{
+	return e.profile(ctx, p, ProfileOptions{
 		WarmInsts:   cfg.WarmInsts,
 		MaxInsts:    cfg.SelectInsts,
 		Scope:       cfg.Scope,

@@ -1,8 +1,9 @@
 // Granularity: the paper's Figure 6 methodology on one benchmark — select
 // p-threads for the whole sample versus independently for successively
 // finer dynamic regions, and watch specialization trade against lost
-// coverage at unselected sub-regions. The four configurations run
-// concurrently through the Suite runner.
+// coverage at unselected sub-regions. The four configurations run as one
+// memoized sweep: region granularity feeds the profile, so each grain
+// profiles once, but all four share a single base timing run.
 //
 //	go run ./examples/granularity [benchmark]
 package main
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog := w.Build(1)
+	benches := []preexec.SweepBench{{Name: name, Program: w.Build(1)}}
 
 	fmt.Printf("selection granularity on %s (paper Figure 6)\n\n", name)
 	base := preexec.DefaultConfig()
@@ -38,25 +39,24 @@ func main() {
 		{"1/6 regions", base.Machine.MeasureInsts / 6},
 		{"1/12 regions", base.Machine.MeasureInsts / 12},
 	}
-	jobs := make([]preexec.Job, len(grains))
+	points := make([]preexec.ConfigPoint, len(grains))
 	for i, g := range grains {
 		cfg := base
 		cfg.Selection.RegionInsts = g.regions
-		jobs[i] = preexec.Job{
-			Name:    g.label,
-			Program: prog,
-			Engine:  preexec.New(preexec.WithConfig(cfg)),
-		}
+		points[i] = preexec.ConfigPoint{Name: g.label, Config: cfg}
 	}
-	reports, err := (&preexec.Suite{}).Run(context.Background(), jobs)
+	res, err := (&preexec.Sweep{}).Run(context.Background(), benches, points)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, rep := range reports {
+	for i, cell := range res.Cells {
+		rep := cell.Report
 		fmt.Printf("%-13s pts %2d  launches %6d  cover %5.1f%% (full %5.1f%%)  overhead %4.1f%%  speedup %+6.1f%%\n",
 			grains[i].label, len(rep.PThreads), rep.Pre.Launches,
 			rep.CoveragePct(), rep.FullCoveragePct(), rep.Pre.OverheadFrac()*100, rep.SpeedupPct())
 	}
+	fmt.Printf("\nstage cache: %d base runs (+%d shared) across %d cells\n",
+		res.Cache.BaseRuns, res.Cache.BaseHits, len(res.Cells))
 	fmt.Println("\nexpected shape (paper §4.4): finer grains specialize p-threads to the")
 	fmt.Println("regions that need them, but coverage is lost wherever a p-thread is")
 	fmt.Println("profitable at coarse grain yet rejected in a small sub-region.")

@@ -1,8 +1,10 @@
 // Latencysweep: the paper's Figure 8 methodology on one benchmark — select
 // p-thread sets assuming 70- and 140-cycle memory, then cross-validate each
 // set on both machines. Shows the framework adapting p-thread structure to
-// the latency it is told to tolerate. All four (simulate, select) pairs run
-// concurrently through the Suite runner.
+// the latency it is told to tolerate. The four pSIM(tSEL) cells run as one
+// memoized sweep: the functional profile is latency-independent, so the
+// stage cache runs it once and shares it across all four cells, and the two
+// simulated latencies share one base timing run each.
 //
 //	go run ./examples/latencysweep [benchmark]
 package main
@@ -25,15 +27,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog := w.Build(1)
+	benches := []preexec.SweepBench{{Name: name, Program: w.Build(1)}}
 
 	fmt.Printf("memory-latency cross-validation on %s (paper Figure 8)\n", name)
 	fmt.Println("pSIM(tSEL): simulate at SIM cycles with p-threads selected assuming SEL cycles")
 	fmt.Println()
 	type pair struct{ sim, sel int }
 	var (
-		pairs []pair
-		jobs  []preexec.Job
+		pairs  []pair
+		points []preexec.ConfigPoint
 	)
 	for _, simLat := range []int{140, 70} {
 		for _, selLat := range []int{70, 140} {
@@ -41,30 +43,33 @@ func main() {
 			cfg.Machine.MemLat = simLat
 			cfg.Selection.MemLat = selLat
 			pairs = append(pairs, pair{simLat, selLat})
-			jobs = append(jobs, preexec.Job{
-				Name:    fmt.Sprintf("p%d(t%d)", simLat, selLat),
-				Program: prog,
-				Engine:  preexec.New(preexec.WithConfig(cfg)),
+			points = append(points, preexec.ConfigPoint{
+				Name:   fmt.Sprintf("p%d(t%d)", simLat, selLat),
+				Config: cfg,
 			})
 		}
 	}
-	reports, err := (&preexec.Suite{}).Run(context.Background(), jobs)
+	res, err := (&preexec.Sweep{}).Run(context.Background(), benches, points)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, rep := range reports {
+	for i, cell := range res.Cells {
 		p := pairs[i]
 		kind := "self "
 		if p.sim != p.sel {
 			kind = "cross"
 		}
+		rep := cell.Report
 		fmt.Printf("p%d(t%d) %s: base IPC %.3f  pre IPC %.3f  speedup %+6.1f%%  cover %5.1f%% (full %5.1f%%)  len %.1f  pts %d\n",
 			p.sim, p.sel, kind, rep.Base.IPC, rep.Pre.IPC, rep.SpeedupPct(),
 			rep.CoveragePct(), rep.FullCoveragePct(), rep.Pre.AvgPtLen, len(rep.PThreads))
-		if i == len(reports)/2-1 {
+		if i == len(res.Cells)/2-1 {
 			fmt.Println()
 		}
 	}
+	fmt.Println()
+	fmt.Printf("stage cache: %d base runs (+%d shared), %d profiles (+%d shared) for %d cells\n",
+		res.Cache.BaseRuns, res.Cache.BaseHits, res.Cache.ProfileRuns, res.Cache.ProfileHits, len(res.Cells))
 	fmt.Println()
 	fmt.Println("expected shape (paper §4.5): self-validation competitive or better;")
 	fmt.Println("over-specification (p70(t140)) covers misses more fully but fewer in total;")

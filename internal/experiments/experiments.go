@@ -40,6 +40,9 @@ type Options struct {
 	Workers int
 	// Progress, if non-nil, streams per-cell completion events.
 	Progress func(preexec.SuiteEvent)
+	// NoCache disables stage memoization in the figure sweeps: every cell
+	// recomputes its own base run and profile (texp -cache=off).
+	NoCache bool
 }
 
 func (o Options) fill() Options {
@@ -64,10 +67,6 @@ func (o Options) config() preexec.Config {
 	cfg.Machine.WarmInsts = o.Warm
 	cfg.Machine.MeasureInsts = o.Measure
 	return cfg
-}
-
-func (o Options) suite() *preexec.Suite {
-	return &preexec.Suite{Workers: o.Workers, Progress: o.Progress}
 }
 
 func (o Options) workloads() ([]workload.Workload, error) {

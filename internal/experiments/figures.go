@@ -8,10 +8,12 @@ import (
 	"preexec/internal/program"
 )
 
-// evalConfigs runs one evaluation per (benchmark, named config) cell across
-// the suite runner's worker pool and collects figure rows in deterministic
-// (benchmark-major) order. mutate customizes the base configuration for
-// each named variant; train and test are the workload's two inputs.
+// evalConfigs runs one evaluation per (benchmark, named config) cell
+// through the memoized sweep subsystem — cells differing only in selection
+// or ablation knobs share base timing runs and profiles — and collects
+// figure rows in deterministic (benchmark-major) order. mutate customizes
+// the base configuration for each named variant; train and test are the
+// workload's two inputs.
 func (o Options) evalConfigs(
 	ctx context.Context,
 	names []string,
@@ -22,32 +24,29 @@ func (o Options) evalConfigs(
 	if err != nil {
 		return nil, err
 	}
-	type label struct{ bench, config string }
-	var (
-		jobs   []preexec.Job
-		labels []label
-	)
-	for _, w := range ws {
-		train := w.Build(o.Scale)
-		test := w.BuildTest(o.Scale)
-		for _, name := range names {
-			cfg := o.config()
-			mutate(&cfg, name, train, test)
-			jobs = append(jobs, preexec.Job{
-				Name:    w.Name + "/" + name,
-				Program: train,
-				Engine:  preexec.New(preexec.WithConfig(cfg)),
-			})
-			labels = append(labels, label{w.Name, name})
+	benches := make([]preexec.SweepBench, len(ws))
+	for i, w := range ws {
+		benches[i] = preexec.SweepBench{Name: w.Name, Program: w.Build(o.Scale), Test: w.BuildTest(o.Scale)}
+	}
+	points := make([]preexec.ConfigPoint, len(names))
+	for i, name := range names {
+		points[i] = preexec.ConfigPoint{
+			Name: name,
+			Derive: func(b preexec.SweepBench) preexec.Config {
+				cfg := o.config()
+				mutate(&cfg, name, b.Program, b.Test)
+				return cfg
+			},
 		}
 	}
-	reports, err := o.suite().Run(ctx, jobs)
+	sweep := &preexec.Sweep{Workers: o.Workers, Progress: o.Progress, NoCache: o.NoCache}
+	res, err := sweep.Run(ctx, benches, points)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	rows := make([]FigRow, len(reports))
-	for i, rep := range reports {
-		rows[i] = figRow(labels[i].bench, labels[i].config, rep)
+	rows := make([]FigRow, len(res.Cells))
+	for i, cell := range res.Cells {
+		rows[i] = figRow(cell.Bench, cell.Point, cell.Report)
 	}
 	return rows, nil
 }

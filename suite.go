@@ -2,10 +2,17 @@ package preexec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
+
+// ErrJobNotRun marks the per-job error slot of a suite job that never
+// started because an earlier failure (or the caller's context) stopped the
+// suite. It distinguishes "never ran" from a job's own failure and from a
+// completed zero report.
+var ErrJobNotRun = errors.New("preexec: suite job not run (suite stopped early)")
 
 // Job is one unit of suite work: a program evaluated under an engine.
 type Job struct {
@@ -121,12 +128,23 @@ func (s *Suite) workers(n int) int {
 }
 
 // Run evaluates every job and returns their reports in input order. The
-// first failure cancels the jobs still in flight and is returned after all
-// workers drain; reports of jobs that completed before the failure are
-// still filled in. Cancelling ctx stops the suite the same way.
-func (s *Suite) Run(ctx context.Context, jobs []Job) ([]Report, error) {
+// first failure cancels the jobs still in flight and is returned as the
+// summary error after all workers drain; reports of jobs that completed
+// before the failure are still filled in, and the per-job error slice says
+// which is which: nil for a completed job, the job's own error for a failed
+// or cancelled one, and ErrJobNotRun for a job the suite never started.
+// Cancelling ctx stops the suite the same way.
+//
+// A job without a program is rejected up front — before any job runs —
+// with an error naming the job's index and name.
+func (s *Suite) Run(ctx context.Context, jobs []Job) ([]Report, []error, error) {
 	if len(jobs) == 0 {
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
+	}
+	for i, job := range jobs {
+		if job.Program == nil {
+			return nil, nil, fmt.Errorf("preexec: suite job %d (%q) has no program", i, job.Name)
+		}
 	}
 	def := s.Engine
 	if def == nil {
@@ -134,6 +152,10 @@ func (s *Suite) Run(ctx context.Context, jobs []Job) ([]Report, error) {
 	}
 
 	reports := make([]Report, len(jobs))
+	errs := make([]error, len(jobs))
+	for i := range errs {
+		errs[i] = ErrJobNotRun
+	}
 	var (
 		mu   sync.Mutex // guards done and Progress calls
 		done int
@@ -145,21 +167,14 @@ func (s *Suite) Run(ctx context.Context, jobs []Job) ([]Report, error) {
 			eng = def
 		}
 		name := job.Name
-		if name == "" && job.Program != nil {
+		if name == "" {
 			name = job.Program.Name
 		}
-		var (
-			rep Report
-			err error
-		)
-		if job.Program == nil {
-			err = fmt.Errorf("preexec: suite job %d (%q) has no program", i, name)
-		} else {
-			rep, err = eng.Evaluate(ctx, job.Program)
-		}
+		rep, err := eng.Evaluate(ctx, job.Program)
 		if err == nil {
 			reports[i] = rep
 		}
+		errs[i] = err
 		mu.Lock()
 		done++
 		if s.Progress != nil {
@@ -172,13 +187,15 @@ func (s *Suite) Run(ctx context.Context, jobs []Job) ([]Report, error) {
 		mu.Unlock()
 		return err
 	})
-	return reports, err
+	return reports, errs, err
 }
 
 // Evaluate runs the full pipeline on each program concurrently and returns
-// the reports in input order.
+// the reports in input order. It keeps only the summary error; use Run for
+// per-job errors.
 func (s *Suite) Evaluate(ctx context.Context, progs ...*Program) ([]Report, error) {
-	return s.Run(ctx, jobsFor(progs))
+	reports, _, err := s.Run(ctx, jobsFor(progs))
+	return reports, err
 }
 
 func jobsFor(progs []*Program) []Job {
@@ -191,20 +208,18 @@ func jobsFor(progs []*Program) []Job {
 
 // EvaluateSuite is the one-call convenience: it builds every named
 // benchmark at the given scale (all of them when names is empty) and
-// evaluates the suite concurrently under eng.
+// evaluates the suite concurrently under eng. Every name and the scale are
+// validated before any program is built; scale must be at least 1.
 func EvaluateSuite(ctx context.Context, eng *Engine, names []string, scale int, workers int, progress func(SuiteEvent)) ([]Report, error) {
-	if len(names) == 0 {
-		names = WorkloadNames()
+	ws, err := workloadsByName(names)
+	if err != nil {
+		return nil, err
 	}
 	if scale < 1 {
-		scale = 1
+		return nil, fmt.Errorf("preexec: suite scale %d, want >= 1", scale)
 	}
-	progs := make([]*Program, len(names))
-	for i, name := range names {
-		w, err := WorkloadByName(name)
-		if err != nil {
-			return nil, err
-		}
+	progs := make([]*Program, len(ws))
+	for i, w := range ws {
 		progs[i] = w.Build(scale)
 	}
 	s := &Suite{Engine: eng, Workers: workers, Progress: progress}

@@ -118,12 +118,92 @@ func TestSuiteErrorPropagates(t *testing.T) {
 	}
 }
 
-// TestSuiteNilProgram checks a job without a program surfaces as an error,
-// not a worker-goroutine panic.
+// TestSuiteNilProgram checks a job without a program is rejected at plan
+// time — before any job runs — with the job's index and name in the error.
 func TestSuiteNilProgram(t *testing.T) {
-	_, err := (&preexec.Suite{}).Run(t.Context(), []preexec.Job{{Name: "empty"}})
+	var events int
+	s := &preexec.Suite{Progress: func(preexec.SuiteEvent) { events++ }}
+	jobs := []preexec.Job{{Name: "ok", Program: buildBench(t, "crafty")}, {Name: "empty"}}
+	reports, errs, err := s.Run(t.Context(), jobs)
 	if err == nil || !strings.Contains(err.Error(), "has no program") {
 		t.Fatalf("err = %v, want no-program error", err)
+	}
+	if !strings.Contains(err.Error(), "job 1") || !strings.Contains(err.Error(), `"empty"`) {
+		t.Errorf("err = %v, want the job index and name", err)
+	}
+	if reports != nil || errs != nil {
+		t.Error("plan-time rejection should not return reports or per-job errors")
+	}
+	if events != 0 {
+		t.Errorf("plan-time rejection ran %d jobs, want 0", events)
+	}
+}
+
+// TestSuitePartialFailure is the regression test for the partial-failure
+// reporting contract: after a mid-suite failure, callers can tell completed
+// jobs (nil per-job error, report filled in) from the failed job (its own
+// error) and from jobs the suite never started (ErrJobNotRun) — a completed
+// zero-report is no longer ambiguous.
+func TestSuitePartialFailure(t *testing.T) {
+	progs := suiteBenches(t, "vpr.p", "crafty", "vpr.r")
+	eng := preexec.New(
+		preexec.WithMachine(testMachine()),
+		preexec.WithSimulator(&failingSimulator{failOn: "crafty", inner: passthroughSimulator{}}),
+	)
+	jobs := make([]preexec.Job, len(progs))
+	for i, p := range progs {
+		jobs[i] = preexec.Job{Program: p}
+	}
+	// One worker: vpr.p completes before crafty fails; vpr.r never completes.
+	reports, errs, err := (&preexec.Suite{Engine: eng, Workers: 1}).Run(t.Context(), jobs)
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("summary err = %v, want the first failure", err)
+	}
+	if len(reports) != 3 || len(errs) != 3 {
+		t.Fatalf("lengths: %d reports, %d errs, want 3 each", len(reports), len(errs))
+	}
+	if errs[0] != nil {
+		t.Errorf("completed job err = %v, want nil", errs[0])
+	}
+	if reports[0].Program != "vpr.p" || reports[0].Base.Retired == 0 {
+		t.Errorf("completed job's report missing: %+v", reports[0])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "injected failure") {
+		t.Errorf("failed job err = %v, want injected failure", errs[1])
+	}
+	// The trailing job either never started (ErrJobNotRun) or was cancelled
+	// mid-flight — never a silent nil beside a zero report.
+	if errs[2] == nil {
+		t.Error("unstarted job err = nil, indistinguishable from success")
+	}
+	if !errors.Is(errs[2], preexec.ErrJobNotRun) && !errors.Is(errs[2], context.Canceled) {
+		t.Errorf("unstarted job err = %v, want ErrJobNotRun or context.Canceled", errs[2])
+	}
+	if reports[2].Program != "" {
+		t.Errorf("unstarted job has a report: %+v", reports[2])
+	}
+}
+
+// TestEvaluateSuiteValidatesUpFront pins the up-front validation contract:
+// a bad scale and a bad trailing name both fail before any program is
+// evaluated.
+func TestEvaluateSuiteValidatesUpFront(t *testing.T) {
+	eng := preexec.New(preexec.WithMachine(testMachine()))
+	if _, err := preexec.EvaluateSuite(t.Context(), eng, []string{"crafty"}, 0, 1, nil); err == nil ||
+		!strings.Contains(err.Error(), "scale") {
+		t.Errorf("scale 0: err = %v, want scale error", err)
+	}
+	if _, err := preexec.EvaluateSuite(t.Context(), eng, []string{"crafty"}, -3, 1, nil); err == nil {
+		t.Error("scale -3 should error, not clamp to 1")
+	}
+	var events int
+	_, err := preexec.EvaluateSuite(t.Context(), eng, []string{"crafty", "nope"}, 1, 1,
+		func(preexec.SuiteEvent) { events++ })
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("bad trailing name: err = %v, want unknown-benchmark error", err)
+	}
+	if events != 0 {
+		t.Errorf("bad trailing name still evaluated %d jobs, want 0", events)
 	}
 }
 
