@@ -39,16 +39,40 @@ import (
 //
 // Keys do not include the stage backends: every engine sharing a cache
 // must use the same Profiler and Simulator (see WithStageCache). Program
-// identity is the *Program pointer — rebuilt programs never hit — and
-// entries live as long as the cache does (no eviction), so scope a cache
-// to the sweeps that share its programs.
+// identity is the *Program pointer — rebuilt programs never hit — and by
+// default entries live as long as the cache does, so scope a cache to the
+// sweeps that share its programs. For sweeps over generated corpora too
+// large to retain whole, bound the cache with WithStageCacheLimit: the
+// least-recently-used entries are evicted (and recomputed on re-request),
+// trading recomputation for memory while keeping results bit-identical.
 type StageCache struct {
 	base    stageMap[baseKey, Stats]
 	profile stageMap[profileKey, []ProfileRegion]
 }
 
+// StageCacheOption customizes a StageCache at construction.
+type StageCacheOption func(*StageCache)
+
+// WithStageCacheLimit bounds each stage of the cache to at most n entries
+// (n <= 0 means unlimited, the default). When a stage exceeds its bound,
+// the least-recently-used entry is evicted; evicted work is recomputed if
+// requested again, so giant generated-corpus sweeps can cap the cache's
+// footprint without changing any result.
+func WithStageCacheLimit(n int) StageCacheOption {
+	return func(c *StageCache) {
+		c.base.limit = n
+		c.profile.limit = n
+	}
+}
+
 // NewStageCache returns an empty stage cache ready for concurrent use.
-func NewStageCache() *StageCache { return &StageCache{} }
+func NewStageCache(opts ...StageCacheOption) *StageCache {
+	c := &StageCache{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
 
 // CacheStats counts a StageCache's activity: Runs are stage executions that
 // actually happened (cache misses), Hits are requests served from (or
@@ -62,6 +86,9 @@ type CacheStats struct {
 	BaseHits    int64 `json:"base_hits"`
 	ProfileRuns int64 `json:"profile_runs"`
 	ProfileHits int64 `json:"profile_hits"`
+	// Evictions counts entries dropped by the WithStageCacheLimit LRU
+	// bound (both stages); always zero for unlimited caches.
+	Evictions int64 `json:"evictions,omitempty"`
 }
 
 // Stats returns a snapshot of the cache's cumulative hit/run counters.
@@ -71,7 +98,13 @@ func (c *StageCache) Stats() CacheStats {
 		BaseHits:    c.base.hits.Load(),
 		ProfileRuns: c.profile.runs.Load(),
 		ProfileHits: c.profile.hits.Load(),
+		Evictions:   c.base.evictions.Load() + c.profile.evictions.Load(),
 	}
+}
+
+// Len returns the entry counts currently held by the two stages.
+func (c *StageCache) Len() (baseEntries, profileEntries int) {
+	return c.base.len(), c.profile.len()
 }
 
 // sub returns the counter deltas since an earlier snapshot.
@@ -81,6 +114,7 @@ func (s CacheStats) sub(prev CacheStats) CacheStats {
 		BaseHits:    s.BaseHits - prev.BaseHits,
 		ProfileRuns: s.ProfileRuns - prev.ProfileRuns,
 		ProfileHits: s.ProfileHits - prev.ProfileHits,
+		Evictions:   s.Evictions - prev.Evictions,
 	}
 }
 
@@ -110,17 +144,86 @@ func (c *StageCache) regions(ctx context.Context, p *Program, opts ProfileOption
 	return c.profile.getOrCompute(ctx, profileKey{prog: p, opts: opts}, compute)
 }
 
-// stageMap is one memoized stage: a keyed set of single-flight entries.
+// stageMap is one memoized stage: a keyed set of single-flight entries,
+// optionally bounded by an LRU eviction policy (limit > 0). The LRU list is
+// intrusive — most-recently-used at head — and eviction only unmaps an
+// entry: a flight already handed out completes normally for the callers
+// holding it, so eviction can never change a result, only force a later
+// recomputation.
 type stageMap[K comparable, V any] struct {
 	mu         sync.Mutex
-	m          map[K]*stageEntry[V]
+	m          map[K]*stageEntry[K, V]
+	limit      int // max entries (0 = unlimited)
+	head, tail *stageEntry[K, V]
 	runs, hits atomic.Int64
+	evictions  atomic.Int64
 }
 
-type stageEntry[V any] struct {
+type stageEntry[K comparable, V any] struct {
+	key    K
 	done   chan struct{} // closed when val/failed are set
 	val    V
 	failed bool
+
+	// LRU links, guarded by the stageMap mutex. linked distinguishes
+	// "unmapped by eviction" from "in the list" so failure cleanup and
+	// eviction stay idempotent.
+	prev, next *stageEntry[K, V]
+	linked     bool
+}
+
+// moveToFront marks e most recently used. Caller holds s.mu.
+func (s *stageMap[K, V]) moveToFront(e *stageEntry[K, V]) {
+	if !e.linked || s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *stageMap[K, V]) pushFront(e *stageEntry[K, V]) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	e.linked = true
+}
+
+func (s *stageMap[K, V]) unlink(e *stageEntry[K, V]) {
+	if !e.linked {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.linked = false
+}
+
+// drop removes e from the map and LRU list if still present. Caller holds
+// s.mu.
+func (s *stageMap[K, V]) drop(e *stageEntry[K, V]) {
+	if cur, ok := s.m[e.key]; ok && cur == e {
+		delete(s.m, e.key)
+	}
+	s.unlink(e)
+}
+
+func (s *stageMap[K, V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
 }
 
 func (s *stageMap[K, V]) getOrCompute(ctx context.Context, key K, compute func() (V, error)) (V, error) {
@@ -131,6 +234,7 @@ func (s *stageMap[K, V]) getOrCompute(ctx context.Context, key K, compute func()
 		}
 		s.mu.Lock()
 		if e, ok := s.m[key]; ok {
+			s.moveToFront(e)
 			s.mu.Unlock()
 			select {
 			case <-e.done:
@@ -151,10 +255,17 @@ func (s *stageMap[K, V]) getOrCompute(ctx context.Context, key K, compute func()
 			}
 		}
 		if s.m == nil {
-			s.m = make(map[K]*stageEntry[V])
+			s.m = make(map[K]*stageEntry[K, V])
 		}
-		e := &stageEntry[V]{done: make(chan struct{})}
+		e := &stageEntry[K, V]{key: key, done: make(chan struct{})}
 		s.m[key] = e
+		s.pushFront(e)
+		if s.limit > 0 && len(s.m) > s.limit {
+			// Evict the least recently used entry (never the one just
+			// inserted: limit >= 1 implies at least two entries here).
+			s.drop(s.tail)
+			s.evictions.Add(1)
+		}
 		s.mu.Unlock()
 		s.runs.Add(1)
 
@@ -165,7 +276,7 @@ func (s *stageMap[K, V]) getOrCompute(ctx context.Context, key K, compute func()
 			// flight. The failure is returned only to the caller whose
 			// compute it was.
 			s.mu.Lock()
-			delete(s.m, key)
+			s.drop(e)
 			s.mu.Unlock()
 			e.failed = true
 			close(e.done)

@@ -1,0 +1,116 @@
+package preexec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// fakeProgs returns n distinct program identities (the cache keys on
+// pointer identity; the contents are irrelevant to the stage map).
+func fakeProgs(n int) []*Program {
+	ps := make([]*Program, n)
+	for i := range ps {
+		ps[i] = &Program{Name: fmt.Sprintf("p%d", i)}
+	}
+	return ps
+}
+
+func TestStageCacheLimitEvictsLRU(t *testing.T) {
+	ctx := context.Background()
+	c := NewStageCache(WithStageCacheLimit(2))
+	cfg := TimingConfig{}
+	computes := 0
+	get := func(p *Program) {
+		t.Helper()
+		if _, err := c.baseStats(ctx, p, cfg, func() (Stats, error) {
+			computes++
+			return Stats{Retired: 1}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := fakeProgs(3)
+	get(ps[0])
+	get(ps[1])
+	get(ps[0]) // refresh p0: p1 becomes least recently used
+	get(ps[2]) // exceeds the bound: evicts p1
+	if base, _ := c.Len(); base != 2 {
+		t.Fatalf("cache holds %d base entries, want 2", base)
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if computes != 3 {
+		t.Fatalf("computes = %d, want 3", computes)
+	}
+	get(ps[0]) // still cached
+	if computes != 3 {
+		t.Fatalf("p0 recomputed after refresh, computes = %d", computes)
+	}
+	get(ps[1]) // evicted: must recompute (and evict p2, the new LRU... p0 was just used)
+	if computes != 4 {
+		t.Fatalf("evicted p1 not recomputed, computes = %d", computes)
+	}
+	st := c.Stats()
+	if st.BaseRuns != 4 || st.BaseHits != 2 {
+		t.Fatalf("stats = %+v, want 4 runs / 2 hits", st)
+	}
+}
+
+func TestStageCacheUnlimitedByDefault(t *testing.T) {
+	ctx := context.Background()
+	c := NewStageCache()
+	cfg := TimingConfig{}
+	for _, p := range fakeProgs(64) {
+		if _, err := c.baseStats(ctx, p, cfg, func() (Stats, error) { return Stats{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if base, _ := c.Len(); base != 64 {
+		t.Fatalf("unlimited cache holds %d entries, want 64", base)
+	}
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Fatalf("unlimited cache evicted %d entries", ev)
+	}
+}
+
+// TestSweepWithCacheLimitBitIdentical pins the LRU contract end to end: a
+// sweep over a cache bounded to a single entry per stage — evicting on
+// every benchmark switch — produces cells bit-identical to an uncached
+// sweep.
+func TestSweepWithCacheLimitBitIdentical(t *testing.T) {
+	benches, err := SweepBenches([]string{"crafty", "gap"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Machine.WarmInsts, cfg.Machine.MeasureInsts = 5_000, 15_000
+	cfgRaw := cfg
+	cfgRaw.Selection.Optimize = false
+	points := []ConfigPoint{{Name: "base", Config: cfg}, {Name: "raw", Config: cfgRaw}}
+
+	limited := &Sweep{Cache: NewStageCache(WithStageCacheLimit(1)), Workers: 1}
+	resLim, err := limited.Run(context.Background(), benches, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &Sweep{NoCache: true, Workers: 1}
+	resPlain, err := plain.Run(context.Background(), benches, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resLim.Cells) != len(resPlain.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(resLim.Cells), len(resPlain.Cells))
+	}
+	for i := range resLim.Cells {
+		a, b := resLim.Cells[i], resPlain.Cells[i]
+		if a.Report.Base != b.Report.Base || a.Report.Pre != b.Report.Pre ||
+			a.Report.BaseMisses != b.Report.BaseMisses {
+			t.Errorf("cell %s/%s differs between limited cache and no cache", a.Bench, a.Point)
+		}
+	}
+	if base, prof := limited.Cache.Len(); base > 1 || prof > 1 {
+		t.Errorf("limited cache holds %d/%d entries, want <= 1 each", base, prof)
+	}
+}

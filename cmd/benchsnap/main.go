@@ -1,9 +1,10 @@
 // Command benchsnap snapshots the simulator micro-benchmarks
 // (BenchmarkSim<workload>: one bare timing.Run of 50k instructions each,
-// mirroring the root bench_test.go targets) plus the sweep-memoization pair
+// mirroring the root bench_test.go targets), the sweep-memoization pair
 // (BenchmarkSweepCached/BenchmarkSweepUncached: the same selection grid with
-// and without the stage cache) into a JSON baseline, and checks a fresh run
-// against a committed baseline.
+// and without the stage cache), and the workload-synthesis pair
+// (BenchmarkSynthGenerate/BenchmarkAssemble, mirroring synth/bench_test.go)
+// into a JSON baseline, and checks a fresh run against a committed baseline.
 //
 //	benchsnap -o BENCH_baseline.json          # record a baseline
 //	benchsnap -check BENCH_baseline.json      # fail on gross regressions
@@ -33,6 +34,7 @@ import (
 	"preexec/internal/slice"
 	"preexec/internal/timing"
 	"preexec/internal/workload"
+	"preexec/synth"
 )
 
 // Result is one benchmark measurement.
@@ -126,6 +128,29 @@ func sweepBench(cached bool) (func(b *testing.B), error) {
 	}, nil
 }
 
+// synthBenches returns the workload-synthesis pair mirroring
+// synth/bench_test.go: BenchmarkSynthGenerate compiles a mid-size clustered
+// chase spec, BenchmarkAssemble re-assembles its disassembly.
+func synthBenches() (gen, asm func(b *testing.B)) {
+	spec := synth.Spec{Family: "chase", Seed: 1, FootprintWords: 1 << 16, Iters: 30_000, Clusters: 256}
+	src := synth.Disassemble(synth.MustGenerate(spec))
+	gen = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := synth.Generate(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	asm = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := synth.Assemble(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return gen, asm
+}
+
 // benchName converts a workload name to its benchmark identifier
 // (vpr.p -> BenchmarkSimVprP).
 func benchName(w string) string {
@@ -182,6 +207,19 @@ func measure() (map[string]Result, error) {
 		out[sw.name] = Result{NsOp: float64(r.NsPerOp()), BOp: r.AllocedBytesPerOp(), AllocsOp: r.AllocsPerOp()}
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
 			sw.name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	gen, asm := synthBenches()
+	for _, sb := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BenchmarkSynthGenerate", gen},
+		{"BenchmarkAssemble", asm},
+	} {
+		r := testing.Benchmark(sb.fn)
+		out[sb.name] = Result{NsOp: float64(r.NsPerOp()), BOp: r.AllocedBytesPerOp(), AllocsOp: r.AllocsPerOp()}
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			sb.name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
 	return out, nil
 }

@@ -27,8 +27,6 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,7 +36,7 @@ import (
 	"strings"
 
 	"preexec"
-	"preexec/internal/stats"
+	"preexec/internal/sweepio"
 )
 
 // axis is one grid dimension: a flag's raw comma-separated values and the
@@ -233,48 +231,5 @@ func gridPoints(base preexec.Config, axes []axis) ([]preexec.ConfigPoint, error)
 }
 
 func emit(res *preexec.SweepResult, jsonOut, csvOut bool) error {
-	switch {
-	case jsonOut:
-		return json.NewEncoder(os.Stdout).Encode(res)
-	case csvOut:
-		w := csv.NewWriter(os.Stdout)
-		if err := w.Write([]string{"bench", "point", "base_ipc", "pre_ipc", "speedup_pct",
-			"coverage_pct", "full_coverage_pct", "overhead_pct", "avg_pt_len", "pthreads"}); err != nil {
-			return err
-		}
-		for _, cell := range res.Cells {
-			if cell.Err != nil {
-				continue
-			}
-			rep := cell.Report
-			if err := w.Write([]string{
-				cell.Bench, cell.Point,
-				strconv.FormatFloat(rep.Base.IPC, 'f', 4, 64),
-				strconv.FormatFloat(rep.Pre.IPC, 'f', 4, 64),
-				strconv.FormatFloat(rep.SpeedupPct(), 'f', 2, 64),
-				strconv.FormatFloat(rep.CoveragePct(), 'f', 2, 64),
-				strconv.FormatFloat(rep.FullCoveragePct(), 'f', 2, 64),
-				strconv.FormatFloat(rep.Pre.OverheadFrac()*100, 'f', 2, 64),
-				strconv.FormatFloat(rep.Pre.AvgPtLen, 'f', 2, 64),
-				strconv.Itoa(len(rep.PThreads)),
-			}); err != nil {
-				return err
-			}
-		}
-		w.Flush()
-		return w.Error()
-	default:
-		t := stats.NewTable("bench", "point", "base", "pre", "speedup%", "cover%", "full%", "ovhd%", "ptlen", "pthreads")
-		for _, cell := range res.Cells {
-			if cell.Err != nil {
-				continue
-			}
-			rep := cell.Report
-			t.Row(cell.Bench, cell.Point, rep.Base.IPC, rep.Pre.IPC, rep.SpeedupPct(),
-				rep.CoveragePct(), rep.FullCoveragePct(), rep.Pre.OverheadFrac()*100,
-				rep.Pre.AvgPtLen, len(rep.PThreads))
-		}
-		fmt.Print(t.String())
-		return nil
-	}
+	return sweepio.Emit(os.Stdout, res, sweepio.Options{JSON: jsonOut, CSV: csvOut, Point: true})
 }

@@ -4,6 +4,8 @@
 // aligned 8-byte words (the only granularity the PRX ISA has).
 package mem
 
+import "sort"
+
 const (
 	pageShift = 12 // 4KB pages
 	pageBytes = 1 << pageShift
@@ -70,6 +72,48 @@ func (m *Memory) ReadWords(base int64, n int) []int64 {
 
 // Pages returns the number of mapped pages (for tests and footprint checks).
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Run is a maximal run of consecutive non-zero words: Vals[i] lives at byte
+// address Base + 8*i.
+type Run struct {
+	Base int64
+	Vals []int64
+}
+
+// Runs returns the memory's non-zero contents as address-ordered runs of
+// consecutive words — the canonical form the PRX disassembler emits as
+// .data/.word directives. Zero words inside a mapped page break runs, so
+// assembling the runs back reproduces an image that reads identically
+// (unmapped and explicit-zero words are indistinguishable to Read).
+func (m *Memory) Runs() []Run {
+	keys := make([]uint64, 0, len(m.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var runs []Run
+	var cur *Run
+	for _, k := range keys {
+		p := m.pages[k]
+		pageBase := int64(k << pageShift)
+		for i, v := range p {
+			if v == 0 {
+				cur = nil
+				continue
+			}
+			addr := pageBase + int64(i)*8
+			if cur != nil && cur.Base+int64(len(cur.Vals))*8 == addr {
+				cur.Vals = append(cur.Vals, v)
+				continue
+			}
+			runs = append(runs, Run{Base: addr})
+			cur = &runs[len(runs)-1]
+			cur.Vals = append(cur.Vals, v)
+		}
+	}
+	return runs
+}
 
 // Clone returns a deep copy of the memory. The timing simulator clones the
 // post-initialization image so p-thread speculative state can never corrupt

@@ -126,3 +126,46 @@ func TestQuickIndependentWords(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRuns(t *testing.T) {
+	m := New()
+	if runs := m.Runs(); len(runs) != 0 {
+		t.Fatalf("empty memory Runs = %v, want none", runs)
+	}
+	// Two runs split by a zero word, plus one spanning a page boundary.
+	m.WriteWords(0x100, []int64{1, 2, 3})
+	m.Write(0x128, 5)                          // 0x118/0x120 stay zero: breaks the run
+	m.WriteWords(2*pageBytes-8, []int64{7, 8}) // crosses into page 2
+	runs := m.Runs()
+	want := []Run{
+		{Base: 0x100, Vals: []int64{1, 2, 3}},
+		{Base: 0x128, Vals: []int64{5}},
+		{Base: 2*pageBytes - 8, Vals: []int64{7, 8}},
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("Runs = %+v, want %+v", runs, want)
+	}
+	for i := range want {
+		if runs[i].Base != want[i].Base || len(runs[i].Vals) != len(want[i].Vals) {
+			t.Fatalf("run %d = %+v, want %+v", i, runs[i], want[i])
+		}
+		for j, v := range want[i].Vals {
+			if runs[i].Vals[j] != v {
+				t.Errorf("run %d val %d = %d, want %d", i, j, runs[i].Vals[j], v)
+			}
+		}
+	}
+	// Round trip: writing the runs into a fresh memory reads identically.
+	m2 := New()
+	for _, r := range runs {
+		m2.WriteWords(r.Base, r.Vals)
+	}
+	for _, r := range want {
+		for j := range r.Vals {
+			addr := r.Base + int64(j)*8
+			if m2.Read(addr) != m.Read(addr) {
+				t.Errorf("round-trip mismatch at %#x", addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package sweepio renders sweep results for the command-line tools: the
+// one implementation of the JSON/CSV/table outputs shared by cmd/tsweep
+// and cmd/tgen, so the per-cell report columns cannot drift between them.
+package sweepio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"encoding/csv"
+
+	"preexec"
+	"preexec/internal/stats"
+)
+
+// Options selects the output format and the grid columns.
+type Options struct {
+	// JSON emits the whole SweepResult; CSV per-cell rows; neither, an
+	// aligned table. JSON and CSV are mutually exclusive (callers enforce).
+	JSON bool
+	CSV  bool
+	// BenchHeader titles the benchmark column ("bench" when empty).
+	BenchHeader string
+	// Point includes the config-point column (multi-point grids; a
+	// single-point sweep omits it).
+	Point bool
+}
+
+// metricHeaders is the shared per-cell column set, CSV then table style.
+var (
+	csvMetrics = []string{"base_ipc", "pre_ipc", "speedup_pct",
+		"coverage_pct", "full_coverage_pct", "overhead_pct", "avg_pt_len", "pthreads"}
+	tableMetrics = []string{"base", "pre", "speedup%", "cover%", "full%", "ovhd%", "ptlen", "pthreads"}
+)
+
+// Emit renders res to out. Cells that failed are skipped in CSV and table
+// output (the JSON form carries their error strings).
+func Emit(out io.Writer, res *preexec.SweepResult, opts Options) error {
+	bench := opts.BenchHeader
+	if bench == "" {
+		bench = "bench"
+	}
+	head := []string{bench}
+	if opts.Point {
+		head = append(head, "point")
+	}
+	switch {
+	case opts.JSON:
+		return json.NewEncoder(out).Encode(res)
+	case opts.CSV:
+		w := csv.NewWriter(out)
+		if err := w.Write(append(head, csvMetrics...)); err != nil {
+			return err
+		}
+		for _, cell := range res.Cells {
+			if cell.Err != nil {
+				continue
+			}
+			rep := cell.Report
+			row := []string{cell.Bench}
+			if opts.Point {
+				row = append(row, cell.Point)
+			}
+			row = append(row,
+				strconv.FormatFloat(rep.Base.IPC, 'f', 4, 64),
+				strconv.FormatFloat(rep.Pre.IPC, 'f', 4, 64),
+				strconv.FormatFloat(rep.SpeedupPct(), 'f', 2, 64),
+				strconv.FormatFloat(rep.CoveragePct(), 'f', 2, 64),
+				strconv.FormatFloat(rep.FullCoveragePct(), 'f', 2, 64),
+				strconv.FormatFloat(rep.Pre.OverheadFrac()*100, 'f', 2, 64),
+				strconv.FormatFloat(rep.Pre.AvgPtLen, 'f', 2, 64),
+				strconv.Itoa(len(rep.PThreads)),
+			)
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	default:
+		t := stats.NewTable(append(head, tableMetrics...)...)
+		for _, cell := range res.Cells {
+			if cell.Err != nil {
+				continue
+			}
+			rep := cell.Report
+			row := []any{cell.Bench}
+			if opts.Point {
+				row = append(row, cell.Point)
+			}
+			row = append(row, rep.Base.IPC, rep.Pre.IPC, rep.SpeedupPct(),
+				rep.CoveragePct(), rep.FullCoveragePct(), rep.Pre.OverheadFrac()*100,
+				rep.Pre.AvgPtLen, len(rep.PThreads))
+			t.Row(row...)
+		}
+		_, err := fmt.Fprint(out, t.String())
+		return err
+	}
+}

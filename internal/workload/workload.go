@@ -30,6 +30,8 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"preexec/internal/program"
 )
@@ -48,14 +50,69 @@ type Workload struct {
 	BuildTest func(scale int) *program.Program
 }
 
-var registry []Workload
+var (
+	regMu    sync.RWMutex
+	registry []Workload
+	// builtins counts registry entries installed by this package's init
+	// functions (the paper's ten); they can never be unregistered.
+	builtins int
+)
 
-func register(w Workload) { registry = append(registry, w) }
+// register installs a builtin at init time (no locking: init runs serially,
+// before any other entry point can be called).
+func register(w Workload) {
+	registry = append(registry, w)
+	builtins = len(registry)
+}
 
-// All returns the full suite in the paper's (alphabetical) order.
+// Register adds a workload to the registry at run time, making it a
+// first-class benchmark for ByName and everything built on it (suite
+// evaluation, sweeps, the command-line tools). Names are case-insensitive
+// and must not collide with an existing entry. A nil BuildTest defaults to
+// Build. Safe for concurrent use.
+func Register(w Workload) error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: Register: empty name")
+	}
+	if w.Build == nil {
+		return fmt.Errorf("workload: Register %q: nil Build", w.Name)
+	}
+	if w.BuildTest == nil {
+		w.BuildTest = w.Build
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, have := range registry {
+		if strings.EqualFold(have.Name, w.Name) {
+			return fmt.Errorf("workload: Register %q: already registered", w.Name)
+		}
+	}
+	registry = append(registry, w)
+	return nil
+}
+
+// Unregister removes a run-time-registered workload by (case-insensitive)
+// name, reporting whether it was present. The ten builtins cannot be
+// removed.
+func Unregister(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for i := builtins; i < len(registry); i++ {
+		if strings.EqualFold(registry[i].Name, name) {
+			registry = append(registry[:i], registry[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full suite — the ten builtins plus any registered
+// extensions — in alphabetical order.
 func All() []Workload {
+	regMu.RLock()
 	out := make([]Workload, len(registry))
 	copy(out, registry)
+	regMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -70,12 +127,18 @@ func Names() []string {
 	return names
 }
 
-// ByName finds a workload.
+// ByName finds a workload. Lookup is case-insensitive, and the error for an
+// unknown name lists every valid one — it is the single name-validation
+// message reused by the suite and sweep entry points.
 func ByName(name string) (Workload, error) {
+	regMu.RLock()
 	for _, w := range registry {
-		if w.Name == name {
+		if strings.EqualFold(w.Name, name) {
+			regMu.RUnlock()
 			return w, nil
 		}
 	}
-	return Workload{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	regMu.RUnlock()
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q (valid: %s)",
+		name, strings.Join(Names(), ", "))
 }

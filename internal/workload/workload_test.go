@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"preexec/internal/cache"
 	"preexec/internal/cpu"
 	"preexec/internal/isa"
+	"preexec/internal/program"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -26,8 +28,60 @@ func TestByName(t *testing.T) {
 	if err != nil || w.Name != "mcf" {
 		t.Fatalf("ByName(mcf) = %v, %v", w, err)
 	}
-	if _, err := ByName("nonesuch"); err == nil {
-		t.Error("ByName should fail for unknown benchmarks")
+	if w, err := ByName("MCF"); err != nil || w.Name != "mcf" {
+		t.Errorf("ByName(MCF) = %v, %v; lookup should be case-insensitive", w, err)
+	}
+	_, err = ByName("nonesuch")
+	if err == nil {
+		t.Fatal("ByName should fail for unknown benchmarks")
+	}
+	// The error must list every valid name (the one message suite/sweep
+	// validation reuses).
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ByName error %q does not list valid name %q", err, name)
+		}
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	build := func(scale int) *program.Program {
+		b := program.NewBuilder("extra")
+		b.Li(1, int64(scale)).Halt()
+		return b.MustBuild()
+	}
+	if err := Register(Workload{Name: "extra", Build: build}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Unregister("extra") })
+
+	w, err := ByName("Extra")
+	if err != nil || w.Name != "extra" {
+		t.Fatalf("ByName(Extra) after Register = %v, %v", w, err)
+	}
+	if w.BuildTest == nil {
+		t.Error("Register should default a nil BuildTest to Build")
+	}
+	if err := Register(Workload{Name: "EXTRA", Build: build}); err == nil {
+		t.Error("Register should reject a case-insensitive name collision")
+	}
+	if err := Register(Workload{Name: "", Build: build}); err == nil {
+		t.Error("Register should reject an empty name")
+	}
+	if err := Register(Workload{Name: "nobuild"}); err == nil {
+		t.Error("Register should reject a nil Build")
+	}
+	if n := len(Names()); n != 11 {
+		t.Errorf("Names() has %d entries with one extension, want 11", n)
+	}
+	if !Unregister("extra") {
+		t.Error("Unregister(extra) = false, want true")
+	}
+	if Unregister("mcf") {
+		t.Error("Unregister must refuse to remove a builtin")
+	}
+	if _, err := ByName("extra"); err == nil {
+		t.Error("extra still resolvable after Unregister")
 	}
 }
 

@@ -90,8 +90,21 @@ func Workloads() []Workload { return workload.All() }
 // WorkloadNames returns the suite's benchmark names in order.
 func WorkloadNames() []string { return workload.Names() }
 
-// WorkloadByName finds a benchmark by name.
+// WorkloadByName finds a benchmark by name. Lookup is case-insensitive and
+// the error for an unknown name lists every valid one.
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// RegisterWorkload adds a workload to the global registry, making it a
+// first-class benchmark alongside the ten builtins: WorkloadByName,
+// EvaluateSuite, SweepBenches, and the command-line tools all accept its
+// name afterwards. Names are case-insensitive and must be unique; a nil
+// BuildTest defaults to Build. The synth package builds registrable
+// workloads from parameterized scenario specs and .prx sources.
+func RegisterWorkload(w Workload) error { return workload.Register(w) }
+
+// UnregisterWorkload removes a previously registered workload by name,
+// reporting whether it was present. The ten builtins cannot be removed.
+func UnregisterWorkload(name string) bool { return workload.Unregister(name) }
 
 // PredictIPC converts a selection's predicted cycle savings into an IPC
 // forecast for a run of insts instructions on a width-wide machine with the

@@ -1,0 +1,458 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"preexec"
+	"preexec/internal/isa"
+	"preexec/internal/mem"
+	"preexec/internal/program"
+)
+
+// The PRX text format. One instruction, label, or directive per line;
+// comments run from ';' or '#' to end of line.
+//
+//	.name vpr.mini        ; program name (required for registry use)
+//	.entry start          ; optional entry label (default: instruction 0)
+//	.data 0x10000         ; set the data cursor (byte address, 8-aligned)
+//	.word 7, 0x20, -3     ; write words at the cursor, advancing it
+//
+//	start:
+//	        li   r1, 0
+//	loop:   bge  r1, r2, done
+//	        ld   r3, 8(r4)
+//	        addi r1, r1, 1
+//	        j    loop
+//	done:   halt
+//
+// Operand forms follow the disassembly: three-register ALU ops
+// ("add r1, r2, r3"), register-immediate ops ("addi r1, r2, -4"),
+// "mov rd, rs", "li rd, imm", loads/stores with displacement addressing
+// ("ld rd, disp(rbase)", "st rdata, disp(rbase)"), branches and jumps with
+// label or absolute-index targets, and bare "nop"/"halt". Registers are
+// r0..r31; immediates accept decimal or 0x hex, with optional sign.
+
+// LineError is one assembly diagnostic tied to a 1-based source line.
+// Assemble returns every diagnostic joined into a single error; unwrap with
+// errors.As to recover lines programmatically.
+type LineError struct {
+	Line int
+	Msg  string
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("prx:%d: %s", e.Line, e.Msg) }
+
+// opFormat is an operand syntax class.
+type opFormat uint8
+
+const (
+	fmtNone opFormat = iota // nop, halt
+	fmtR3                   // op rd, rs1, rs2
+	fmtRI                   // op rd, rs1, imm
+	fmtMov                  // mov rd, rs1
+	fmtLi                   // li rd, imm
+	fmtLd                   // ld rd, disp(rbase)
+	fmtSt                   // st rdata, disp(rbase)
+	fmtBr                   // op rs1, rs2, target
+	fmtJ                    // j target
+	fmtJal                  // jal rd, target
+	fmtJr                   // jr rs1
+)
+
+var mnemonics = map[string]struct {
+	op isa.Op
+	f  opFormat
+}{
+	"nop": {isa.NOP, fmtNone}, "halt": {isa.HALT, fmtNone},
+	"add": {isa.ADD, fmtR3}, "sub": {isa.SUB, fmtR3}, "mul": {isa.MUL, fmtR3},
+	"div": {isa.DIV, fmtR3}, "and": {isa.AND, fmtR3}, "or": {isa.OR, fmtR3},
+	"xor": {isa.XOR, fmtR3}, "sll": {isa.SLL, fmtR3}, "srl": {isa.SRL, fmtR3},
+	"sra": {isa.SRA, fmtR3}, "slt": {isa.SLT, fmtR3},
+	"addi": {isa.ADDI, fmtRI}, "andi": {isa.ANDI, fmtRI}, "ori": {isa.ORI, fmtRI},
+	"xori": {isa.XORI, fmtRI}, "slli": {isa.SLLI, fmtRI}, "srli": {isa.SRLI, fmtRI},
+	"srai": {isa.SRAI, fmtRI}, "slti": {isa.SLTI, fmtRI},
+	"mov": {isa.MOV, fmtMov}, "li": {isa.LI, fmtLi},
+	"ld": {isa.LD, fmtLd}, "st": {isa.ST, fmtSt},
+	"beq": {isa.BEQ, fmtBr}, "bne": {isa.BNE, fmtBr},
+	"blt": {isa.BLT, fmtBr}, "bge": {isa.BGE, fmtBr},
+	"j": {isa.J, fmtJ}, "jal": {isa.JAL, fmtJal}, "jr": {isa.JR, fmtJr},
+}
+
+type fixup struct {
+	inst   int    // instruction awaiting its Target
+	label  string // referenced label (empty for numeric targets)
+	target int    // absolute target (when label is empty)
+	line   int    // source line of the reference
+}
+
+type assembler struct {
+	name      string
+	insts     []isa.Inst
+	labels    map[string]int
+	labelLine map[string]int
+	fixups    []fixup
+	data      *mem.Memory
+	cursor    int64
+	haveData  bool
+	entry     string // .entry operand (label or index), resolved at the end
+	entryLine int
+	errs      []error
+}
+
+// Assemble parses PRX source into a program. Every diagnostic carries its
+// 1-based source line (see LineError); on success the program's Labels map
+// holds the source labels and Name the .name directive (empty if none —
+// LoadPRX fills it from the file name).
+func Assemble(src []byte) (*preexec.Program, error) {
+	a := &assembler{
+		labels:    make(map[string]int),
+		labelLine: make(map[string]int),
+		data:      mem.New(),
+	}
+	for i, line := range strings.Split(string(src), "\n") {
+		a.parseLine(i+1, line)
+	}
+	a.resolve()
+	entry := a.resolveEntry()
+	if len(a.errs) > 0 {
+		return nil, errors.Join(a.errs...)
+	}
+	return &program.Program{
+		Name:   a.name,
+		Insts:  a.insts,
+		Labels: a.labels,
+		Data:   a.data,
+		Entry:  entry,
+	}, nil
+}
+
+func (a *assembler) errf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &LineError{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *assembler) parseLine(line int, text string) {
+	// Comments run to end of line; neither ';' nor '#' appears in any
+	// operand form.
+	if i := strings.IndexAny(text, ";#"); i >= 0 {
+		text = text[:i]
+	}
+	text = strings.TrimSpace(text)
+
+	// Leading "label:" definitions, possibly followed by an instruction.
+	// A candidate with whitespace or a leading '.' is not a label (it is a
+	// directive operand or malformed instruction, diagnosed below).
+	for {
+		i := strings.Index(text, ":")
+		if i < 0 {
+			break
+		}
+		name := text[:i]
+		if name == "" || strings.ContainsAny(name, " \t") || strings.HasPrefix(name, ".") {
+			break
+		}
+		if !validLabel(name) {
+			a.errf(line, "malformed label %q", text[:i+1])
+			return
+		}
+		if _, dup := a.labels[name]; dup {
+			a.errf(line, "duplicate label %q (first defined on line %d)", name, a.labelLine[name])
+		} else {
+			a.labels[name] = len(a.insts)
+			a.labelLine[name] = line
+		}
+		text = strings.TrimSpace(text[i+1:])
+	}
+	if text == "" {
+		return
+	}
+	if strings.HasPrefix(text, ".") {
+		a.parseDirective(line, text)
+		return
+	}
+	a.parseInst(line, text)
+}
+
+func validLabel(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.', r == '$':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// cutField splits off the first whitespace-delimited field (space or tab).
+func cutField(s string) (field, rest string) {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+func (a *assembler) parseDirective(line int, text string) {
+	dir, rest := cutField(text)
+	switch dir {
+	case ".name":
+		if rest == "" {
+			a.errf(line, ".name needs a value")
+			return
+		}
+		a.name = rest
+	case ".entry":
+		if rest == "" {
+			a.errf(line, ".entry needs a label or instruction index")
+			return
+		}
+		a.entry, a.entryLine = rest, line
+	case ".data":
+		v, err := strconv.ParseInt(rest, 0, 64)
+		if err != nil || v < 0 {
+			a.errf(line, ".data address %q: want a non-negative integer", rest)
+			return
+		}
+		if v%8 != 0 {
+			a.errf(line, ".data address %d not 8-byte aligned", v)
+			return
+		}
+		a.cursor, a.haveData = v, true
+	case ".word":
+		if !a.haveData {
+			a.errf(line, ".word before any .data directive")
+			return
+		}
+		if rest == "" {
+			a.errf(line, ".word needs at least one value")
+			return
+		}
+		for _, f := range strings.Split(rest, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 64)
+			if err != nil {
+				a.errf(line, ".word value %q: %v", strings.TrimSpace(f), parseIntErr(err))
+				return
+			}
+			a.data.Write(a.cursor, v)
+			a.cursor += 8
+		}
+	default:
+		a.errf(line, "unknown directive %q", dir)
+	}
+}
+
+// parseIntErr strips the strconv boilerplate down to the reason.
+func parseIntErr(err error) string {
+	var ne *strconv.NumError
+	if errors.As(err, &ne) {
+		return ne.Err.Error()
+	}
+	return err.Error()
+}
+
+func (a *assembler) parseInst(line int, text string) {
+	mn, rest := cutField(text)
+	mn = strings.ToLower(mn)
+	spec, ok := mnemonics[mn]
+	if !ok {
+		a.errf(line, "unknown mnemonic %q", mn)
+		return
+	}
+	ops := splitOperands(rest)
+	in := isa.Inst{Op: spec.op}
+	need := map[opFormat]int{
+		fmtNone: 0, fmtR3: 3, fmtRI: 3, fmtMov: 2, fmtLi: 2,
+		fmtLd: 2, fmtSt: 2, fmtBr: 3, fmtJ: 1, fmtJal: 2, fmtJr: 1,
+	}[spec.f]
+	if len(ops) != need {
+		a.errf(line, "%s takes %d operands, got %d", mn, need, len(ops))
+		return
+	}
+	reg := func(s string) (isa.Reg, bool) {
+		r, err := parseReg(s)
+		if err != nil {
+			a.errf(line, "%s: %v", mn, err)
+			return 0, false
+		}
+		return r, true
+	}
+	imm := func(s string) (int64, bool) {
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			a.errf(line, "%s: immediate %q: %s", mn, s, parseIntErr(err))
+			return 0, false
+		}
+		return v, true
+	}
+	target := func(s string) bool {
+		// Both label and numeric targets resolve at the end (numeric range
+		// checks need the final instruction count), each carrying its line.
+		if v, err := strconv.ParseInt(s, 0, 32); err == nil {
+			a.fixups = append(a.fixups, fixup{inst: len(a.insts), target: int(v), line: line})
+			return true
+		}
+		if !validLabel(s) {
+			a.errf(line, "%s: malformed target %q", mn, s)
+			return false
+		}
+		a.fixups = append(a.fixups, fixup{inst: len(a.insts), label: s, line: line})
+		return true
+	}
+	okAll := true
+	switch spec.f {
+	case fmtNone:
+	case fmtR3:
+		in.Rd, okAll = reg(ops[0])
+		if okAll {
+			in.Rs1, okAll = reg(ops[1])
+		}
+		if okAll {
+			in.Rs2, okAll = reg(ops[2])
+		}
+	case fmtRI:
+		in.Rd, okAll = reg(ops[0])
+		if okAll {
+			in.Rs1, okAll = reg(ops[1])
+		}
+		if okAll {
+			in.Imm, okAll = imm(ops[2])
+		}
+	case fmtMov:
+		in.Rd, okAll = reg(ops[0])
+		if okAll {
+			in.Rs1, okAll = reg(ops[1])
+		}
+	case fmtLi:
+		in.Rd, okAll = reg(ops[0])
+		if okAll {
+			in.Imm, okAll = imm(ops[1])
+		}
+	case fmtLd, fmtSt:
+		var rd isa.Reg
+		rd, okAll = reg(ops[0])
+		if okAll {
+			var disp int64
+			var base isa.Reg
+			disp, base, okAll = a.parseMemOperand(line, mn, ops[1])
+			if spec.f == fmtLd {
+				in.Rd, in.Rs1, in.Imm = rd, base, disp
+			} else {
+				in.Rs2, in.Rs1, in.Imm = rd, base, disp // st data, disp(base)
+			}
+		}
+	case fmtBr:
+		in.Rs1, okAll = reg(ops[0])
+		if okAll {
+			in.Rs2, okAll = reg(ops[1])
+		}
+		if okAll {
+			okAll = target(ops[2])
+		}
+	case fmtJ:
+		okAll = target(ops[0])
+	case fmtJal:
+		in.Rd, okAll = reg(ops[0])
+		if okAll {
+			okAll = target(ops[1])
+		}
+	case fmtJr:
+		in.Rs1, okAll = reg(ops[0])
+	}
+	if !okAll {
+		return
+	}
+	a.insts = append(a.insts, in)
+}
+
+// splitOperands splits "r1, 8(r2)" into trimmed fields; empty input yields
+// none.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q (want r0..r%d)", s, isa.NumRegs-1)
+	}
+	v, err := strconv.Atoi(s[1:])
+	if err != nil || v < 0 || v >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q (want r0..r%d)", s, isa.NumRegs-1)
+	}
+	return isa.Reg(v), nil
+}
+
+// parseMemOperand parses "disp(rbase)"; a bare "(rbase)" means
+// displacement 0.
+func (a *assembler) parseMemOperand(line int, mn, s string) (int64, isa.Reg, bool) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		a.errf(line, "%s: malformed address %q (want disp(rbase))", mn, s)
+		return 0, 0, false
+	}
+	var disp int64
+	if d := strings.TrimSpace(s[:open]); d != "" {
+		v, err := strconv.ParseInt(d, 0, 64)
+		if err != nil {
+			a.errf(line, "%s: displacement %q: %s", mn, d, parseIntErr(err))
+			return 0, 0, false
+		}
+		disp = v
+	}
+	r, err := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		a.errf(line, "%s: %v", mn, err)
+		return 0, 0, false
+	}
+	return disp, r, true
+}
+
+// resolve patches label targets into the assembled instructions.
+func (a *assembler) resolve() {
+	if len(a.insts) == 0 && len(a.errs) == 0 {
+		a.errs = append(a.errs, errors.New("prx: program has no instructions"))
+	}
+	for _, f := range a.fixups {
+		pc := f.target
+		if f.label != "" {
+			var ok bool
+			pc, ok = a.labels[f.label]
+			if !ok {
+				a.errf(f.line, "undefined label %q", f.label)
+				continue
+			}
+		} else if pc < 0 || pc > len(a.insts) {
+			a.errf(f.line, "target %d out of range [0, %d]", pc, len(a.insts))
+			continue
+		}
+		a.insts[f.inst].Target = pc
+	}
+}
+
+// resolveEntry turns the .entry operand into an instruction index.
+func (a *assembler) resolveEntry() int {
+	if a.entry == "" {
+		return 0
+	}
+	if pc, ok := a.labels[a.entry]; ok {
+		return pc
+	}
+	if v, err := strconv.ParseInt(a.entry, 0, 32); err == nil && v >= 0 && int(v) < len(a.insts) {
+		return int(v)
+	}
+	a.errf(a.entryLine, ".entry %q: no such label or instruction index", a.entry)
+	return 0
+}

@@ -1,0 +1,211 @@
+package synth
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"preexec/internal/cpu"
+	"preexec/internal/workload"
+)
+
+const sumSrc = `
+; sum the three words at 0x10000 into r3
+.name sum3
+.entry start
+.data 0x10000
+.word 5, 0x10, -2
+
+dead:	halt            ; skipped: entry is below
+start:
+	li   r1, 65536  ; base
+	li   r2, 3      ; count
+	li   r3, 0
+loop:	beq  r2, r0, done
+	ld   r4, 0(r1)
+	add  r3, r3, r4
+	addi r1, r1, 8
+	addi r2, r2, -1
+	j    loop
+done:	halt
+`
+
+func TestAssembleExecutes(t *testing.T) {
+	p, err := Assemble([]byte(sumSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sum3" {
+		t.Errorf("name = %q, want sum3", p.Name)
+	}
+	if p.Entry != p.Labels["start"] || p.Entry == 0 {
+		t.Errorf("entry = %d, want label start (%d)", p.Entry, p.Labels["start"])
+	}
+	st := cpu.New(p)
+	for !st.Halted {
+		if _, err := st.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if st.Count > 1000 {
+			t.Fatal("did not halt")
+		}
+	}
+	if got := st.Regs[3]; got != 5+16-2 {
+		t.Errorf("r3 = %d, want %d", got, 5+16-2)
+	}
+}
+
+// TestAssembleErrors pins the line-precision of every diagnostic class.
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+		want string
+	}{
+		{"unknown mnemonic", "nop\nfoo r1, r2\nhalt", 2, "unknown mnemonic"},
+		{"bad register", "nop\nadd r1, r2, r99\nhalt", 2, "bad register"},
+		{"operand count", "nop\nnop\nadd r1, r2\nhalt", 3, "takes 3 operands"},
+		{"bad immediate", "li r1, xyz\nhalt", 1, "immediate"},
+		{"malformed address", "ld r1, r2\nhalt", 1, "malformed address"},
+		{"undefined label", "nop\nj nowhere\nhalt", 2, `undefined label "nowhere"`},
+		{"duplicate label", "a:\nnop\na:\nhalt", 3, "duplicate label"},
+		{"word before data", ".word 1\nhalt", 1, ".word before any .data"},
+		{"unaligned data", ".data 12\nhalt", 1, "not 8-byte aligned"},
+		{"unknown directive", ".frob 1\nhalt", 1, "unknown directive"},
+		{"bad entry", ".entry nowhere\nhalt", 1, ".entry"},
+		{"malformed target", "nop\nbeq r1, r2, 1x2\nhalt", 2, "malformed target"},
+		{"target out of range", "nop\nj 5\nhalt", 2, "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble([]byte(c.src))
+			if err == nil {
+				t.Fatalf("Assemble(%q) succeeded, want error", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			var le *LineError
+			if !errors.As(err, &le) {
+				t.Fatalf("error %q carries no LineError", err)
+			}
+			if le.Line != c.line {
+				t.Errorf("error line = %d, want %d (%q)", le.Line, c.line, le)
+			}
+		})
+	}
+	if _, err := Assemble([]byte("; nothing\n")); err == nil {
+		t.Error("empty program assembled, want error")
+	}
+}
+
+// TestAssembleTabSeparators pins tab-indented, tab-separated source (the
+// natural editor style) assembling identically to space-separated source.
+func TestAssembleTabSeparators(t *testing.T) {
+	spaces := ".name tabs\n.data 0x100\n.word 5\nli r1, 256\nld r2, 0(r1)\nhalt\n"
+	tabs := ".name\ttabs\n.data\t0x100\n.word\t5\n\tli\tr1, 256\n\tld\tr2, 0(r1)\n\thalt\n"
+	p1, err := Assemble([]byte(spaces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble([]byte(tabs))
+	if err != nil {
+		t.Fatalf("tab-separated source failed to assemble: %v", err)
+	}
+	sameProgram(t, p1, p2)
+}
+
+// TestAssembleCollectsAllErrors checks one pass reports every bad line.
+func TestAssembleCollectsAllErrors(t *testing.T) {
+	_, err := Assemble([]byte("foo\nbar\nhalt"))
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	if !strings.Contains(err.Error(), "prx:1") || !strings.Contains(err.Error(), "prx:2") {
+		t.Errorf("error %q should report both bad lines", err)
+	}
+}
+
+// TestRoundTrip pins assemble -> disassemble -> assemble byte-stability on
+// hand-written source, every generator family, and builtin workloads.
+func TestRoundTrip(t *testing.T) {
+	check := func(t *testing.T, src []byte) {
+		p1, err := Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1 := Disassemble(p1)
+		p2, err := Assemble(t1)
+		if err != nil {
+			t.Fatalf("re-assembling disassembly: %v\n%s", err, t1)
+		}
+		sameProgram(t, p1, p2)
+		t2 := Disassemble(p2)
+		if !bytes.Equal(t1, t2) {
+			t.Fatalf("disassembly not byte-stable:\n--- first\n%s\n--- second\n%s", t1, t2)
+		}
+	}
+	t.Run("hand-written", func(t *testing.T) { check(t, []byte(sumSrc)) })
+	for _, s := range smallSpecs() {
+		s := s
+		t.Run(s.Family, func(t *testing.T) {
+			p := MustGenerate(s)
+			text := Disassemble(p)
+			p2, err := Assemble(text)
+			if err != nil {
+				t.Fatalf("disassembly of generated %s does not re-assemble: %v", s.Family, err)
+			}
+			// The re-assembled program must run the generator's program
+			// exactly: same instructions, same data (labels are
+			// canonicalized, so compare structurally), and the canonical
+			// text must be byte-stable.
+			if len(p2.Insts) != len(p.Insts) {
+				t.Fatalf("instruction count %d, want %d", len(p2.Insts), len(p.Insts))
+			}
+			for i := range p.Insts {
+				if p.Insts[i] != p2.Insts[i] {
+					t.Fatalf("instruction %d: %v, want %v", i, p2.Insts[i], p.Insts[i])
+				}
+			}
+			check(t, text)
+		})
+	}
+	for _, name := range []string{"mcf", "vpr.p", "crafty"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, Disassemble(w.Build(1)))
+		})
+	}
+}
+
+func TestLoadPRXNamesFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/mini.prx"
+	if err := os.WriteFile(path, []byte("\tli r1, 1\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPRX(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mini" {
+		t.Errorf("name = %q, want mini (from the file name)", p.Name)
+	}
+	if _, err := LoadPRX(dir + "/missing.prx"); err == nil {
+		t.Error("LoadPRX of a missing file should fail")
+	}
+	if err := os.WriteFile(dir+"/bad.prx", []byte("frob\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadPRX(dir + "/bad.prx")
+	if err == nil || !strings.Contains(err.Error(), "bad.prx") {
+		t.Errorf("LoadPRX error %v should name the file", err)
+	}
+}

@@ -1,0 +1,26 @@
+package synth
+
+import "testing"
+
+// benchSpec is the mid-size scenario benchsnap snapshots: a 512KB clustered
+// chase (ring construction + 64K data words is representative generator
+// work).
+var benchSpec = Spec{Family: "chase", Seed: 1, FootprintWords: 1 << 16, Iters: 30_000, Clusters: 256}
+
+func BenchmarkSynthGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(benchSpec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	src := Disassemble(MustGenerate(benchSpec))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"preexec"
+	"preexec/internal/isa"
+)
+
+// Disassemble renders a program as canonical PRX source: a .name directive,
+// an optional .entry, labelled instructions (control targets become
+// "L<index>" labels), and the data image as .data/.word runs. The output
+// re-assembles into an equivalent program — identical instructions, entry,
+// and memory contents — and is byte-stable: disassembling the re-assembled
+// program reproduces it exactly. Zero data words are indistinguishable from
+// unmapped memory (reads of both return 0), so they are omitted.
+func Disassemble(p *preexec.Program) []byte {
+	var sb strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&sb, ".name %s\n", p.Name)
+	}
+
+	// Label every control target (and the entry, if non-zero).
+	labels := make(map[int]string)
+	for _, in := range p.Insts {
+		if isa.ClassOf(in.Op) == isa.ClassBranch || in.Op == isa.J || in.Op == isa.JAL {
+			labels[in.Target] = ""
+		}
+	}
+	if p.Entry != 0 {
+		labels[p.Entry] = ""
+	}
+	for pc := range labels {
+		labels[pc] = fmt.Sprintf("L%d", pc)
+	}
+	if p.Entry != 0 {
+		fmt.Fprintf(&sb, ".entry %s\n", labels[p.Entry])
+	}
+	sb.WriteByte('\n')
+
+	for pc, in := range p.Insts {
+		if l, ok := labels[pc]; ok {
+			sb.WriteString(l)
+			sb.WriteString(":\n")
+		}
+		sb.WriteByte('\t')
+		sb.WriteString(instText(in, labels))
+		sb.WriteByte('\n')
+	}
+	// A target one past the last instruction (fall through to halt-by-end)
+	// still needs its label defined.
+	if l, ok := labels[len(p.Insts)]; ok {
+		sb.WriteString(l)
+		sb.WriteString(":\n")
+	}
+
+	runs := p.Data.Runs()
+	if len(runs) > 0 {
+		sb.WriteByte('\n')
+	}
+	for _, r := range runs {
+		fmt.Fprintf(&sb, ".data 0x%x\n", r.Base)
+		for off := 0; off < len(r.Vals); off += 8 {
+			end := off + 8
+			if end > len(r.Vals) {
+				end = len(r.Vals)
+			}
+			sb.WriteString(".word ")
+			for i, v := range r.Vals[off:end] {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%d", v)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return []byte(sb.String())
+}
+
+// instText renders one instruction in assembler syntax, substituting labels
+// for control targets.
+func instText(in isa.Inst, labels map[int]string) string {
+	switch in.Op {
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.Rs1, in.Rs2, labels[in.Target])
+	case isa.J:
+		return fmt.Sprintf("j %s", labels[in.Target])
+	case isa.JAL:
+		return fmt.Sprintf("jal r%d, %s", in.Rd, labels[in.Target])
+	default:
+		// Every other form already prints in assembler syntax.
+		return in.String()
+	}
+}

@@ -1,0 +1,362 @@
+package synth
+
+import (
+	"preexec"
+	"preexec/internal/isa"
+	"preexec/internal/program"
+)
+
+// aliasWords is the L2 way stride in words: 64KB (1024 sets x 64B lines),
+// the offset at which two addresses map to the same L2 set. The stride
+// family's Alias knob spaces its streams by exactly this.
+const (
+	aliasWords = 8192
+	aliasBytes = aliasWords * 8
+)
+
+// Register allocation shared by all generators. Every generator stays well
+// inside the 32 architectural registers.
+const (
+	rI   isa.Reg = 1 // induction variable
+	rN   isa.Reg = 2 // iteration bound
+	rAcc isa.Reg = 3 // live accumulator
+	rB1  isa.Reg = 4 // data-structure base #1
+	rB2  isa.Reg = 5 // data-structure base #2
+	rB3  isa.Reg = 6 // data-structure base #3
+	rMsk isa.Reg = 7 // index mask
+	rK   isa.Reg = 8 // hash/stride multiplier
+	rP   isa.Reg = 9 // chase/walk pointer
+	rT   isa.Reg = 10
+	rA   isa.Reg = 11 // effective-address scratch
+	rV   isa.Reg = 12 // loaded value
+	rV2  isa.Reg = 13
+	rS   isa.Reg = 14 // per-iteration hash state
+	rW   isa.Reg = 15 // compute-chain scratch
+	rKc  isa.Reg = 16 // compute-chain multiplier
+)
+
+// hashMul is the multiplicative-hash constant (Knuth's 2^32/phi) used to
+// scatter register-computed indices.
+const hashMul = 2654435761
+
+// prologue emits the shared loop setup and returns the builder positioned
+// before the "loop" label. The caller emits the body between Label("loop")'s
+// bound check and the back jump via body().
+func loopProgram(name string, iters, compute int, setup func(b *program.Builder), body func(b *program.Builder)) *preexec.Program {
+	b := program.NewBuilder(name)
+	setup(b)
+	b.Li(rI, 0).
+		Li(rN, int64(iters)).
+		Li(rAcc, 0)
+	if compute > 0 {
+		b.Li(rKc, 0x9E37)
+	}
+	b.Label("loop").
+		Bge(rI, rN, "exit")
+	body(b)
+	// The compute chain: serial multiplies seeded from the induction
+	// variable, independent of the body's loads — per-iteration latency the
+	// machine (or a p-thread running ahead of it) can overlap with misses.
+	if compute > 0 {
+		b.Mov(rW, rI)
+		for c := 0; c < compute; c++ {
+			b.Mul(rW, rW, rKc)
+		}
+		b.Add(rAcc, rAcc, rW)
+	}
+	b.Addi(rI, rI, 1).
+		J("loop")
+	b.Label("exit").Halt()
+	return b.MustBuild()
+}
+
+// genChase builds a pointer chase over a ring of two-word nodes
+// [nextPtr, value]. Uniform (Clusters = 0) rings miss on nearly every node;
+// clustered rings visit ~4 nodes per line before leaving it.
+func genChase(s Spec) *preexec.Program {
+	nodes := s.FootprintWords / 2
+	rng := newXorshift(s.Seed ^ 0x6368617365) // "chase"
+	var next []int
+	if s.Clusters >= 2 {
+		next = clusteredRing(rng, nodes, s.Clusters)
+	} else {
+		next = rng.cycle(nodes)
+	}
+	return loopProgram(s.Name, s.Iters, s.Compute,
+		func(b *program.Builder) {
+			base := b.Alloc(int64(nodes * 2))
+			for i := 0; i < nodes; i++ {
+				addr := base + int64(i*16)
+				b.SetWord(addr, base+int64(next[i]*16))
+				b.SetWord(addr+8, int64(rng.intn(509)+1))
+			}
+			b.Li(rP, base)
+		},
+		func(b *program.Builder) {
+			b.Ld(rP, rP, 0). // p = p->next: the problem load
+						Ld(rV, rP, 8).
+						Add(rAcc, rAcc, rV)
+		})
+}
+
+// clusteredRing returns successor links that visit every node once, walking
+// a random path through each contiguous cluster before jumping to the next.
+func clusteredRing(rng *xorshift, nodes, k int) []int {
+	order := make([]int, 0, nodes)
+	sz := nodes / k
+	for c := 0; c < k; c++ {
+		lo, hi := c*sz, (c+1)*sz
+		if c == k-1 {
+			hi = nodes
+		}
+		p := make([]int, hi-lo)
+		for i := range p {
+			p[i] = lo + i
+		}
+		rng.shuffle(p)
+		order = append(order, p...)
+	}
+	next := make([]int, nodes)
+	for j := range order {
+		next[order[j]] = order[(j+1)%nodes]
+	}
+	return next
+}
+
+// genStride builds a strided stream: index = (i * Stride) & mask, address
+// computed purely in registers. With Alias = a, the stream round-robins a
+// copies spaced one L2 way stride apart, colliding in the same sets.
+func genStride(s Spec) *preexec.Program {
+	words, banks := s.FootprintWords, 1
+	if s.Alias > 0 {
+		banks = s.Alias
+	}
+	rng := newXorshift(s.Seed ^ 0x737472696465) // "stride"
+	return loopProgram(s.Name, s.Iters, s.Compute,
+		func(b *program.Builder) {
+			var base int64
+			if banks == 1 {
+				base = b.Alloc(int64(words))
+			} else {
+				base = b.Alloc(int64(banks * aliasWords))
+			}
+			for k := 0; k < banks; k++ {
+				for i := 0; i < words; i++ {
+					b.SetWord(base+int64(k)*aliasBytes+int64(i*8), int64(rng.intn(97)+1))
+				}
+			}
+			b.Li(rB1, base).
+				Li(rMsk, int64(words-1)).
+				Li(rK, int64(s.Stride))
+		},
+		func(b *program.Builder) {
+			b.Mul(rT, rI, rK).
+				And(rT, rT, rMsk)
+			if banks > 1 {
+				b.Andi(rA, rI, int64(banks-1)).
+					Slli(rA, rA, 16) // bank * 64KB: same L2 set as bank 0
+			}
+			b.Slli(rT, rT, 3).
+				Add(rT, rT, rB1)
+			if banks > 1 {
+				b.Add(rT, rT, rA)
+			}
+			b.Ld(rV, rT, 0). // the problem load
+						Add(rAcc, rAcc, rV)
+		})
+}
+
+// genHash builds an open-addressing probe: the first index is a
+// multiplicative hash of the induction variable (register-computed), and
+// each deeper probe hashes the previous probe's loaded value — a dependent
+// load chain of length Depth.
+func genHash(s Spec) *preexec.Program {
+	words := s.FootprintWords
+	rng := newXorshift(s.Seed ^ 0x68617368) // "hash"
+	return loopProgram(s.Name, s.Iters, s.Compute,
+		func(b *program.Builder) {
+			base := b.Alloc(int64(words))
+			for i := 0; i < words; i++ {
+				b.SetWord(base+int64(i*8), int64(rng.next()>>1)+1)
+			}
+			b.Li(rB1, base).
+				Li(rMsk, int64(words-1)).
+				Li(rK, hashMul)
+		},
+		func(b *program.Builder) {
+			b.Mul(rS, rI, rK).
+				And(rS, rS, rMsk)
+			for d := 0; d < s.Depth; d++ {
+				b.Slli(rA, rS, 3).
+					Add(rA, rA, rB1).
+					Ld(rV, rA, 0) // probe d
+				if d < s.Depth-1 {
+					b.Mul(rS, rV, rK). // next probe depends on this load
+								And(rS, rS, rMsk)
+				}
+			}
+			b.Add(rAcc, rAcc, rV)
+		})
+}
+
+// btreeDepth returns the depth (levels) of the largest perfect binary tree
+// of 4-word nodes fitting the footprint.
+func btreeDepth(footprintWords int) int {
+	nodes := footprintWords / 4
+	d := 0
+	for (1<<(d+1))-1 <= nodes {
+		d++
+	}
+	return d
+}
+
+// genBtree builds a perfect binary tree of 4-word nodes
+// [leftPtr, rightPtr, key, value] and walks root-to-leaf each iteration,
+// steered by the bits of a hashed search key. The child pointer is selected
+// arithmetically (offset = bit << 3) rather than by branching, so every
+// level is one static dependent load: slice trees aggregate across walks,
+// and a p-thread races through the cache-resident upper levels to tolerate
+// the lower levels' misses — coverage sits between the pure chase (none)
+// and the register-addressed families (high), and a Depth cap or a small
+// footprint collapses it to an L2-resident "nothing to tolerate" case.
+func genBtree(s Spec) *preexec.Program {
+	depth := btreeDepth(s.FootprintWords)
+	nodes := (1 << depth) - 1
+	steps := depth - 1
+	if s.Depth > 0 && s.Depth < steps {
+		steps = s.Depth
+	}
+	rng := newXorshift(s.Seed ^ 0x6274726565) // "btree"
+	return loopProgram(s.Name, s.Iters, s.Compute,
+		func(b *program.Builder) {
+			base := b.Alloc(int64(nodes * 4))
+			nodeAddr := func(i int) int64 { return base + int64(i*32) }
+			for i := 0; i < nodes; i++ {
+				l, r := 2*i+1, 2*i+2
+				if l < nodes {
+					b.SetWord(nodeAddr(i), nodeAddr(l))
+					b.SetWord(nodeAddr(i)+8, nodeAddr(r))
+				} else {
+					// Leaves loop back to the root; the walk never follows
+					// them, but the image stays well-formed.
+					b.SetWord(nodeAddr(i), base)
+					b.SetWord(nodeAddr(i)+8, base)
+				}
+				b.SetWord(nodeAddr(i)+16, int64(i))
+				b.SetWord(nodeAddr(i)+24, int64(rng.intn(1021)+1))
+			}
+			b.Li(rB1, base).
+				Li(rK, hashMul)
+		},
+		func(b *program.Builder) {
+			b.Mul(rS, rI, rK).
+				Mov(rP, rB1) // restart at the root
+			for j := 0; j < steps; j++ {
+				b.Andi(rT, rS, 1).
+					Slli(rT, rT, 3). // 0 = left field, 8 = right field
+					Srli(rS, rS, 1).
+					Add(rA, rP, rT).
+					Ld(rP, rA, 0) // child pointer: dependent load
+			}
+			b.Ld(rV, rP, 24). // the reached node's value
+						Add(rAcc, rAcc, rV)
+		})
+}
+
+// graphNodes returns the node count for a graph spec: the largest power of
+// two such that the value array plus the Degree-wide adjacency fits the
+// footprint.
+func graphNodes(footprintWords, degree int) int {
+	n := 1
+	for 2*n*(degree+1) <= footprintWords {
+		n *= 2
+	}
+	return n
+}
+
+// graphOrderWords is the worklist length: small enough to stay resident, so
+// the order load hits while the adjacency and value gathers miss.
+const graphOrderWords = 1024
+
+// genGraph builds a worklist traversal: order[] supplies the next node
+// (resident index load), the node's Degree-wide adjacency list is gathered
+// (irregular), and each neighbour's value load depends on its adjacency
+// load — two levels of indirection per edge.
+func genGraph(s Spec) *preexec.Program {
+	nodes := graphNodes(s.FootprintWords, s.Degree)
+	logDeg := 0
+	for 1<<logDeg < s.Degree {
+		logDeg++
+	}
+	rng := newXorshift(s.Seed ^ 0x6772617068) // "graph"
+	return loopProgram(s.Name, s.Iters, s.Compute,
+		func(b *program.Builder) {
+			adj := b.Alloc(int64(nodes * s.Degree))
+			val := b.Alloc(int64(nodes))
+			order := b.Alloc(graphOrderWords)
+			for i := 0; i < nodes*s.Degree; i++ {
+				b.SetWord(adj+int64(i*8), int64(rng.intn(nodes)))
+			}
+			for i := 0; i < nodes; i++ {
+				b.SetWord(val+int64(i*8), int64(rng.intn(251)+1))
+			}
+			for i := 0; i < graphOrderWords; i++ {
+				b.SetWord(order+int64(i*8), int64(rng.intn(nodes)))
+			}
+			b.Li(rB1, adj).
+				Li(rB2, val).
+				Li(rB3, order)
+		},
+		func(b *program.Builder) {
+			b.Andi(rT, rI, graphOrderWords-1).
+				Slli(rT, rT, 3).
+				Add(rT, rT, rB3).
+				Ld(rS, rT, 0). // next node id: resident worklist
+				Slli(rA, rS, int64(logDeg+3)).
+				Add(rA, rA, rB1) // adjacency base for the node
+			for j := 0; j < s.Degree; j++ {
+				b.Ld(rV, rA, int64(j*8)). // neighbour id: irregular
+								Slli(rT, rV, 3).
+								Add(rT, rT, rB2).
+								Ld(rV2, rT, 0). // neighbour value: dependent gather
+								Add(rAcc, rAcc, rV2)
+			}
+		})
+}
+
+// genGather builds an indirect gather kernel: a streamed index array feeds
+// data[idx[t]] gathers; with Scatter, each gathered word is rewritten
+// through the same irregular address.
+func genGather(s Spec) *preexec.Program {
+	entries := s.FootprintWords / 2
+	dataWords := s.FootprintWords / 2
+	rng := newXorshift(s.Seed ^ 0x676174686572) // "gather"
+	return loopProgram(s.Name, s.Iters, s.Compute,
+		func(b *program.Builder) {
+			idx := b.Alloc(int64(entries))
+			data := b.Alloc(int64(dataWords))
+			for i := 0; i < entries; i++ {
+				b.SetWord(idx+int64(i*8), int64(rng.intn(dataWords)))
+			}
+			for i := 0; i < dataWords; i++ {
+				b.SetWord(data+int64(i*8), int64(i%89+1))
+			}
+			b.Li(rB1, idx).
+				Li(rB2, data).
+				Li(rMsk, int64(entries-1))
+		},
+		func(b *program.Builder) {
+			b.And(rT, rI, rMsk).
+				Slli(rT, rT, 3).
+				Add(rT, rT, rB1).
+				Ld(rS, rT, 0). // index stream: sequential lines
+				Slli(rA, rS, 3).
+				Add(rA, rA, rB2).
+				Ld(rV, rA, 0). // the gather: the problem load
+				Add(rAcc, rAcc, rV)
+			if s.Scatter {
+				b.Xor(rV2, rV, rI).
+					St(rV2, rA, 0) // the scatter: irregular store
+			}
+		})
+}

@@ -1,0 +1,54 @@
+package synth
+
+// xorshift is the deterministic PRNG behind every generator's data layout
+// (the same recurrence the builtin workloads use): not for statistics, only
+// for reproducible, "irregular enough" addresses.
+type xorshift uint64
+
+func newXorshift(seed uint64) *xorshift {
+	x := xorshift(seed*2862933555777941757 + 3037000493)
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// intn returns a value in [0, n).
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// cycle returns successor links forming one random cycle over [0, n)
+// (Sattolo's algorithm), so a pointer chase visits every node with no short
+// cycles.
+func (x *xorshift) cycle(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.intn(i)
+		p[i], p[j] = p[j], p[i]
+	}
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[p[i]] = p[i+1]
+	}
+	next[p[n-1]] = p[0]
+	return next
+}
+
+// shuffle permutes s in place (Fisher-Yates).
+func (x *xorshift) shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := x.intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

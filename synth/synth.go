@@ -1,0 +1,291 @@
+// Package synth mass-produces memory-behaviour scenarios for the
+// pre-execution framework, turning the ten fixed benchmark stand-ins of
+// package workload into an unbounded workload axis.
+//
+// It has two halves:
+//
+//   - Scenario generators: a Spec (family, seed, footprint, iteration
+//     count, pattern-specific knobs) compiles into a *preexec.Program via
+//     Generate. Six composable pattern families are built in — pointer
+//     chase (uniform and clustered), strided stream (with conflict
+//     aliasing), hash-table probe, binary-tree walk, graph/worklist
+//     traversal, and an indirect gather/scatter kernel — each engineered so
+//     pre-execution coverage and latency tolerance vary meaningfully across
+//     its knob space (a small footprint makes any family an L2-resident,
+//     crafty-like "nothing to tolerate" case). Generation is
+//     bit-deterministic: the same Spec always yields a bit-identical
+//     program, and therefore a bit-identical evaluation report.
+//
+//   - A textual PRX format: Assemble turns ".prx" source (mnemonics,
+//     labels, .name/.entry/.data/.word directives) into a program with
+//     line-precise errors, and Disassemble renders any program back into
+//     canonical source, byte-stable under re-assembly.
+//
+// Register wires specs (and WorkloadFromPRX wires assembled sources) into
+// the global workload registry, after which they are first-class
+// benchmarks: preexec.WorkloadByName, preexec.EvaluateSuite,
+// preexec.SweepBenches, and the command-line tools all accept them by
+// name. cmd/tgen expands spec grids into .prx corpora or sweeps them
+// directly.
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"preexec"
+)
+
+// Spec is one parameterized scenario: a pattern family plus the knobs that
+// place it in memory-behaviour space. The zero values of the family knobs
+// select sensible defaults (see Family.Knobs); knobs irrelevant to the
+// spec's family are ignored and excluded from the auto-generated name.
+type Spec struct {
+	// Name labels the generated program and registry entry. Empty means
+	// auto-name from the family and knobs (see AutoName).
+	Name string `json:"name,omitempty"`
+	// Family selects the pattern generator: chase, stride, hash, btree,
+	// graph, or gather.
+	Family string `json:"family"`
+	// Seed makes the data layout deterministic: equal specs generate
+	// bit-identical programs.
+	Seed uint64 `json:"seed"`
+	// FootprintWords is the data footprint in 8-byte words; it must be a
+	// power of two in [128, 1<<22]. Footprints well beyond the 32K-word L2
+	// miss heavily; small ones are L2-resident "nothing to tolerate" cases.
+	FootprintWords int `json:"footprint_words"`
+	// Iters is the iteration count of the scenario's main loop (scaled by
+	// the workload scale multiplier when registered).
+	Iters int `json:"iters"`
+
+	// Clusters (chase) groups the chase ring into this many contiguous
+	// clusters visited one after another, giving the chase spatial locality
+	// (~4 nodes per line instead of ~1). 0 = uniform Sattolo ring.
+	Clusters int `json:"clusters,omitempty"`
+	// Stride (stride) is the stream stride in words (default 8 = one new
+	// line per access; 1 = sequential, nearly miss-free).
+	Stride int `json:"stride,omitempty"`
+	// Alias (stride) interleaves this many streams offset by exactly the
+	// L2 way stride (64KB) so they collide in the same cache sets: a
+	// power of two in [2, 32], values beyond the associativity (4) thrash.
+	// 0 = a single stream. Requires FootprintWords <= 8192.
+	Alias int `json:"alias,omitempty"`
+	// Depth (hash) is the probe-chain length: probe d's index is hashed
+	// from probe d-1's loaded value, so depth 1 is purely
+	// register-computed (vpr.p-like) and depth >= 2 is a dependent load
+	// chain (mcf-like). Default 2. (btree) caps the walk depth; 0 = walk
+	// to the leaves.
+	Depth int `json:"depth,omitempty"`
+	// Degree (graph) is the adjacency degree: neighbours gathered per
+	// visited node, a power of two in [1, 16]. Default 4.
+	Degree int `json:"degree,omitempty"`
+	// Scatter (gather) adds an irregular store back through the gathered
+	// address, exercising the store path (vortex-like store-load pairs).
+	Scatter bool `json:"scatter,omitempty"`
+	// Compute adds a chain of this many dependent multiplies per iteration
+	// (independent of the problem load), lengthening the iteration's
+	// non-memory critical path — work that gives p-threads latency to
+	// tolerate. At most 64.
+	Compute int `json:"compute,omitempty"`
+}
+
+// maxIters bounds Spec.Iters; the scale multiplier saturates here too.
+const maxIters = 50_000_000
+
+// Family describes one pattern family.
+type Family struct {
+	Name string
+	// Description summarizes the memory-behaviour signature.
+	Description string
+	// Knobs documents the family-specific Spec fields and defaults.
+	Knobs string
+
+	gen func(s Spec) *preexec.Program
+}
+
+var families = map[string]Family{
+	"chase": {
+		Name:        "chase",
+		Description: "pointer chase over a ring of nodes; each miss feeds the next miss's address (mcf-like low coverage)",
+		Knobs:       "Clusters: 0 = uniform ring, k >= 2 = k contiguous clusters (spatial locality)",
+		gen:         genChase,
+	},
+	"stride": {
+		Name:        "stride",
+		Description: "strided stream with register-computed addresses (vpr.p-like high coverage)",
+		Knobs:       "Stride: words between accesses (default 8); Alias: same-set streams, > 4 thrash the L2",
+		gen:         genStride,
+	},
+	"hash": {
+		Name:        "hash",
+		Description: "hash-table probe; depth-1 probes are register-addressed, deeper chains are dependent loads",
+		Knobs:       "Depth: probe-chain length 1..8 (default 2)",
+		gen:         genHash,
+	},
+	"btree": {
+		Name:        "btree",
+		Description: "binary-tree walk; hot upper levels hit, random leaves miss (scope-sensitive slices)",
+		Knobs:       "Depth: walk-depth cap, 0 = to the leaves",
+		gen:         genBtree,
+	},
+	"graph": {
+		Name:        "graph",
+		Description: "worklist graph traversal: index load, adjacency gather, dependent value gather (vpr.r-like)",
+		Knobs:       "Degree: neighbours per node, power of two 1..16 (default 4)",
+		gen:         genGraph,
+	},
+	"gather": {
+		Name:        "gather",
+		Description: "indirect gather through a streamed index array, optionally scattering back (vortex-like stores)",
+		Knobs:       "Scatter: store back through the gathered address",
+		gen:         genGather,
+	},
+}
+
+// Families returns the pattern families in name order.
+func Families() []Family {
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FamilyNames returns the family names in order.
+func FamilyNames() []string {
+	fs := Families()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// normalize validates the spec, applies family defaults, and fills an
+// auto-generated name if none was given.
+func (s Spec) normalize() (Spec, error) {
+	if _, ok := families[s.Family]; !ok {
+		return s, fmt.Errorf("synth: unknown family %q (valid: %s)",
+			s.Family, strings.Join(FamilyNames(), ", "))
+	}
+	fp := s.FootprintWords
+	if fp < 128 || fp > 1<<22 || fp&(fp-1) != 0 {
+		return s, fmt.Errorf("synth: %s: FootprintWords %d, want a power of two in [128, %d]", s.Family, fp, 1<<22)
+	}
+	if s.Iters < 1 || s.Iters > maxIters {
+		return s, fmt.Errorf("synth: %s: Iters %d, want [1, 50M]", s.Family, s.Iters)
+	}
+	if s.Compute < 0 || s.Compute > 64 {
+		return s, fmt.Errorf("synth: %s: Compute %d, want [0, 64]", s.Family, s.Compute)
+	}
+	switch s.Family {
+	case "chase":
+		nodes := fp / 2
+		if s.Clusters < 0 || s.Clusters == 1 || s.Clusters > nodes/4 {
+			return s, fmt.Errorf("synth: chase: Clusters %d, want 0 or [2, nodes/4 = %d]", s.Clusters, nodes/4)
+		}
+	case "stride":
+		if s.Stride == 0 {
+			s.Stride = 8
+		}
+		if s.Stride < 1 || s.Stride > fp/2 {
+			return s, fmt.Errorf("synth: stride: Stride %d, want [1, FootprintWords/2 = %d]", s.Stride, fp/2)
+		}
+		if s.Alias != 0 {
+			if s.Alias < 2 || s.Alias > 32 || s.Alias&(s.Alias-1) != 0 {
+				return s, fmt.Errorf("synth: stride: Alias %d, want 0 or a power of two in [2, 32]", s.Alias)
+			}
+			if fp > aliasWords {
+				return s, fmt.Errorf("synth: stride: Alias needs FootprintWords <= %d (one L2 way stride), have %d", aliasWords, fp)
+			}
+		}
+	case "hash":
+		if s.Depth == 0 {
+			s.Depth = 2
+		}
+		if s.Depth < 1 || s.Depth > 8 {
+			return s, fmt.Errorf("synth: hash: Depth %d, want [1, 8]", s.Depth)
+		}
+	case "btree":
+		if d := btreeDepth(fp); s.Depth < 0 || s.Depth > d-1 {
+			return s, fmt.Errorf("synth: btree: Depth %d, want [0, %d] for footprint %d", s.Depth, d-1, fp)
+		}
+	case "graph":
+		if s.Degree == 0 {
+			s.Degree = 4
+		}
+		if s.Degree < 1 || s.Degree > 16 || s.Degree&(s.Degree-1) != 0 {
+			return s, fmt.Errorf("synth: graph: Degree %d, want a power of two in [1, 16]", s.Degree)
+		}
+		if n := graphNodes(fp, s.Degree); n < 16 {
+			return s, fmt.Errorf("synth: graph: footprint %d too small for degree %d (%d nodes, want >= 16)", fp, s.Degree, n)
+		}
+	}
+	if s.Name == "" {
+		s.Name = s.AutoName()
+	}
+	return s, nil
+}
+
+// AutoName derives a deterministic, filename-safe name from the family and
+// the knobs relevant to it: family-f<footprint>-i<iters>-s<seed>, plus
+// -cl/-st/-al/-d/-dg/-sc/-c markers for non-default knobs.
+func (s Spec) AutoName() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s-f%d-i%d-s%d", s.Family, s.FootprintWords, s.Iters, s.Seed)
+	switch s.Family {
+	case "chase":
+		if s.Clusters > 0 {
+			fmt.Fprintf(&sb, "-cl%d", s.Clusters)
+		}
+	case "stride":
+		if s.Stride > 0 {
+			fmt.Fprintf(&sb, "-st%d", s.Stride)
+		}
+		if s.Alias > 0 {
+			fmt.Fprintf(&sb, "-al%d", s.Alias)
+		}
+	case "hash":
+		if s.Depth > 0 {
+			fmt.Fprintf(&sb, "-d%d", s.Depth)
+		}
+	case "btree":
+		if s.Depth > 0 {
+			fmt.Fprintf(&sb, "-d%d", s.Depth)
+		}
+	case "graph":
+		if s.Degree > 0 {
+			fmt.Fprintf(&sb, "-dg%d", s.Degree)
+		}
+	case "gather":
+		if s.Scatter {
+			sb.WriteString("-sc")
+		}
+	}
+	if s.Compute > 0 {
+		fmt.Fprintf(&sb, "-c%d", s.Compute)
+	}
+	return sb.String()
+}
+
+// Generate compiles the spec into a program. Equal specs generate
+// bit-identical programs (instructions, labels, data image, and name).
+func Generate(s Spec) (*preexec.Program, error) {
+	n, err := s.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return families[n.Family].gen(n), nil
+}
+
+// MustGenerate is Generate that panics on error, for specs validated ahead
+// of time (the registry Build closures).
+func MustGenerate(s Spec) *preexec.Program {
+	p, err := Generate(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

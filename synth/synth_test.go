@@ -1,0 +1,235 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"preexec/internal/cache"
+	"preexec/internal/cpu"
+	"preexec/internal/isa"
+	"preexec/internal/program"
+)
+
+// smallSpecs returns one quick spec per family.
+func smallSpecs() []Spec {
+	return []Spec{
+		{Family: "chase", Seed: 7, FootprintWords: 1 << 13, Iters: 4000},
+		{Family: "chase", Seed: 7, FootprintWords: 1 << 13, Iters: 4000, Clusters: 64},
+		{Family: "stride", Seed: 7, FootprintWords: 1 << 13, Iters: 4000, Stride: 9, Alias: 8},
+		{Family: "hash", Seed: 7, FootprintWords: 1 << 13, Iters: 4000, Depth: 3},
+		{Family: "btree", Seed: 7, FootprintWords: 1 << 13, Iters: 2000},
+		{Family: "graph", Seed: 7, FootprintWords: 1 << 13, Iters: 2000, Degree: 4},
+		{Family: "gather", Seed: 7, FootprintWords: 1 << 13, Iters: 4000, Scatter: true},
+	}
+}
+
+func sameProgram(t *testing.T, a, b *program.Program) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+	if a.Entry != b.Entry {
+		t.Fatalf("%s: entries differ: %d vs %d", a.Name, a.Entry, b.Entry)
+	}
+	if len(a.Insts) != len(b.Insts) {
+		t.Fatalf("%s: instruction counts differ: %d vs %d", a.Name, len(a.Insts), len(b.Insts))
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("%s: instruction %d differs: %v vs %v", a.Name, i, a.Insts[i], b.Insts[i])
+		}
+	}
+	ra, rb := a.Data.Runs(), b.Data.Runs()
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: data run counts differ: %d vs %d", a.Name, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Base != rb[i].Base || len(ra[i].Vals) != len(rb[i].Vals) {
+			t.Fatalf("%s: data run %d differs", a.Name, i)
+		}
+		for j := range ra[i].Vals {
+			if ra[i].Vals[j] != rb[i].Vals[j] {
+				t.Fatalf("%s: data word %d of run %d differs", a.Name, j, i)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the generator determinism contract: the
+// same Spec yields a bit-identical program.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, s := range smallSpecs() {
+		p1, err := Generate(s)
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		p2, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameProgram(t, p1, p2)
+		// A different seed must change the data layout.
+		s2 := s
+		s2.Seed++
+		s2.Name = ""
+		p3 := MustGenerate(s2)
+		if r1, r3 := p1.Data.Runs(), p3.Data.Runs(); len(r1) == len(r3) {
+			differ := false
+			for i := range r1 {
+				for j := range r1[i].Vals {
+					if j < len(r3[i].Vals) && r1[i].Vals[j] != r3[i].Vals[j] {
+						differ = true
+					}
+				}
+			}
+			if !differ {
+				t.Errorf("%s: different seeds produced identical data images", s.Family)
+			}
+		}
+	}
+}
+
+// funcRun functionally executes p through the default hierarchy, counting
+// instructions and L2 load misses.
+func funcRun(t *testing.T, p *program.Program, maxInsts int64) (insts, l2miss int64) {
+	t.Helper()
+	st := cpu.New(p)
+	h := cache.DefaultHierarchy()
+	for !st.Halted && insts < maxInsts {
+		e, err := st.Step()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		insts++
+		if e.Inst.IsMem() {
+			res := h.Access(e.EffAddr, e.Inst.Op == isa.ST)
+			if e.Inst.Op == isa.LD && res == cache.MissL2 {
+				l2miss++
+			}
+		}
+	}
+	return insts, l2miss
+}
+
+// TestFamiliesTerminateAndLoad checks every family's program halts and
+// performs loads.
+func TestFamiliesTerminateAndLoad(t *testing.T) {
+	for _, s := range smallSpecs() {
+		p := MustGenerate(s)
+		insts, _ := funcRun(t, p, 2_000_000)
+		if insts < 10_000 {
+			t.Errorf("%s: only %d instructions", p.Name, insts)
+		}
+	}
+}
+
+// TestKnobSpaceMovesMissBehaviour checks the knobs actually span
+// memory-behaviour space: footprints, clustering, aliasing, and probe depth
+// all move the L2 miss profile in the engineered direction.
+func TestKnobSpaceMovesMissBehaviour(t *testing.T) {
+	miss := func(s Spec) (perKI float64) {
+		p := MustGenerate(s)
+		insts, m := funcRun(t, p, 2_000_000)
+		return float64(m) / float64(insts) * 1000
+	}
+	big := Spec{Family: "chase", Seed: 3, FootprintWords: 1 << 17, Iters: 12_000}
+	resident := Spec{Family: "chase", Seed: 3, FootprintWords: 1 << 12, Iters: 12_000}
+	clustered := big
+	clustered.Clusters = 512
+	mb, mc := miss(big), miss(clustered)
+	if mb < 20 {
+		t.Errorf("uniform chase misses/KI = %.1f, want miss-heavy (>= 20)", mb)
+	}
+	// The resident ring's 512 lines see only compulsory cold misses
+	// (crafty-like: nothing to tolerate in steady state).
+	_, mrAbs := funcRun(t, MustGenerate(resident), 2_000_000)
+	if mrAbs > 700 {
+		t.Errorf("L2-resident chase misses = %d, want <= ~512 cold misses", mrAbs)
+	}
+	if mc >= mb*3/4 {
+		t.Errorf("clustered chase misses/KI = %.1f, want well below uniform %.1f", mc, mb)
+	}
+
+	plain := Spec{Family: "stride", Seed: 3, FootprintWords: 1 << 12, Iters: 12_000, Stride: 9}
+	aliased := plain
+	aliased.Alias = 8
+	mp, ma := miss(plain), miss(aliased)
+	if ma < mp+5 {
+		t.Errorf("aliased stride misses/KI = %.1f, want well above resident plain stream %.1f", ma, mp)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Spec{
+		{Family: "nonesuch", FootprintWords: 1 << 12, Iters: 100},
+		{Family: "chase", FootprintWords: 100, Iters: 100},   // not a power of two
+		{Family: "chase", FootprintWords: 1 << 12, Iters: 0}, // no iterations
+		{Family: "chase", FootprintWords: 1 << 12, Iters: 100, Clusters: 1},
+		{Family: "stride", FootprintWords: 1 << 12, Iters: 100, Alias: 3},
+		{Family: "stride", FootprintWords: 1 << 14, Iters: 100, Alias: 8}, // footprint too big to alias
+		{Family: "hash", FootprintWords: 1 << 12, Iters: 100, Depth: 9},
+		{Family: "graph", FootprintWords: 1 << 12, Iters: 100, Degree: 3},
+		{Family: "chase", FootprintWords: 1 << 12, Iters: 100, Compute: 65},
+	}
+	for _, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("Generate(%+v) succeeded, want error", s)
+		}
+	}
+	if _, err := Generate(Spec{Family: "gather", FootprintWords: 1 << 12, Iters: 100}); err != nil {
+		t.Errorf("minimal valid spec rejected: %v", err)
+	}
+}
+
+func TestAutoName(t *testing.T) {
+	s := Spec{Family: "stride", Seed: 2, FootprintWords: 1 << 12, Iters: 500, Stride: 9, Alias: 4, Compute: 3}
+	p := MustGenerate(s)
+	want := "stride-f4096-i500-s2-st9-al4-c3"
+	if p.Name != want {
+		t.Errorf("auto name = %q, want %q", p.Name, want)
+	}
+	// Irrelevant knobs must not leak into the name.
+	s2 := Spec{Family: "chase", Seed: 2, FootprintWords: 1 << 12, Iters: 500, Stride: 9, Degree: 8}
+	if name := MustGenerate(s2).Name; strings.Contains(name, "st9") || strings.Contains(name, "dg8") {
+		t.Errorf("chase auto name %q leaked irrelevant knobs", name)
+	}
+}
+
+// TestZoo pins the curated corpus: valid specs, unique names, and valid
+// workload (train + test) variants.
+func TestZoo(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Zoo() {
+		if seen[s.Name] {
+			t.Errorf("duplicate zoo name %q", s.Name)
+		}
+		seen[s.Name] = true
+		w, err := s.Workload()
+		if err != nil {
+			t.Errorf("zoo spec %q: %v", s.Name, err)
+			continue
+		}
+		if w.Name != s.Name {
+			t.Errorf("zoo workload name %q, want %q", w.Name, s.Name)
+		}
+	}
+}
+
+// TestWorkloadScaleAndTestVariant checks the registry contract: scale
+// multiplies the run length and the test input is a smaller run.
+func TestWorkloadScaleAndTestVariant(t *testing.T) {
+	s := Spec{Family: "gather", Seed: 5, FootprintWords: 1 << 13, Iters: 3000}
+	w, err := s.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := funcRun(t, w.Build(1), 10_000_000)
+	n2, _ := funcRun(t, w.Build(2), 10_000_000)
+	if n2 < n1*3/2 {
+		t.Errorf("scale 2 run (%d insts) should be ~2x scale 1 (%d)", n2, n1)
+	}
+	nt, _ := funcRun(t, w.BuildTest(1), 10_000_000)
+	if nt >= n1 {
+		t.Errorf("test input (%d insts) not smaller than train (%d)", nt, n1)
+	}
+}

@@ -1,0 +1,144 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"preexec"
+)
+
+// Workload converts the spec into a registrable benchmark: Build(scale)
+// regenerates the program with Iters*scale (bit-deterministic per scale),
+// and BuildTest generates the spec's test variant — footprint/8, iters/4,
+// footprint-tied knobs clamped — reproducing the paper's smaller "test
+// input" methodology (Figure 7) for synthetic scenarios.
+func (s Spec) Workload() (preexec.Workload, error) {
+	n, err := s.normalize()
+	if err != nil {
+		return preexec.Workload{}, err
+	}
+	// Surface an invalid test variant now, not as a panic inside BuildTest.
+	if _, err := n.testVariant().normalize(); err != nil {
+		return preexec.Workload{}, fmt.Errorf("synth: %s: test variant: %w", n.Name, err)
+	}
+	return preexec.Workload{
+		Name:        n.Name,
+		Description: "synthetic " + n.Family + ": " + families[n.Family].Description,
+		Build: func(scale int) *preexec.Program {
+			return MustGenerate(n.scaled(scale))
+		},
+		BuildTest: func(scale int) *preexec.Program {
+			return MustGenerate(n.testVariant().scaled(scale))
+		},
+	}, nil
+}
+
+// scaled multiplies the iteration count (the workload scale contract),
+// saturating at the validation cap so Build can never fail on a spec that
+// validated at scale 1.
+func (s Spec) scaled(scale int) Spec {
+	if scale > 1 {
+		if s.Iters > maxIters/scale {
+			s.Iters = maxIters
+		} else {
+			s.Iters *= scale
+		}
+	}
+	return s
+}
+
+// testVariant derives the spec's smaller test input: an eighth of the
+// footprint (so mid-size scenarios become L2-resident, as the paper's test
+// inputs do for twolf and vpr.p) and a quarter of the iterations, with
+// footprint-tied knobs clamped back into range.
+func (s Spec) testVariant() Spec {
+	s.Name += ".test"
+	if s.FootprintWords >= 8*128 {
+		s.FootprintWords /= 8
+	} else {
+		s.FootprintWords = 128
+	}
+	if s.Iters > 4 {
+		s.Iters /= 4
+	}
+	if max := s.FootprintWords / 2 / 4; s.Clusters > max { // nodes/4
+		s.Clusters = max
+	}
+	if max := s.FootprintWords / 2; s.Stride > max {
+		s.Stride = max
+	}
+	if s.Family == "graph" {
+		for s.Degree > 1 && graphNodes(s.FootprintWords, s.Degree) < 16 {
+			s.Degree /= 2
+		}
+	}
+	if s.Family == "btree" {
+		if d := btreeDepth(s.FootprintWords); s.Depth > d-1 {
+			s.Depth = d - 1
+		}
+	}
+	return s
+}
+
+// Register compiles each spec and adds it to the global workload registry,
+// making it addressable by name through preexec.WorkloadByName,
+// EvaluateSuite, SweepBenches, and the command-line tools. Registration is
+// atomic: on any error (invalid spec, name collision) the already-added
+// specs of this call are rolled back.
+func Register(specs ...Spec) error {
+	var added []string
+	for _, s := range specs {
+		w, err := s.Workload()
+		if err == nil {
+			err = preexec.RegisterWorkload(w)
+		}
+		if err != nil {
+			for _, name := range added {
+				preexec.UnregisterWorkload(name)
+			}
+			return err
+		}
+		added = append(added, w.Name)
+	}
+	return nil
+}
+
+// WorkloadFromPRX wraps assembled .prx source as a registrable benchmark.
+// The source must carry a .name directive; the program is fixed, so the
+// scale multiplier is ignored and the test input is the program itself.
+func WorkloadFromPRX(src []byte) (preexec.Workload, error) {
+	p, err := Assemble(src)
+	if err != nil {
+		return preexec.Workload{}, err
+	}
+	if p.Name == "" {
+		return preexec.Workload{}, fmt.Errorf("synth: .prx workload needs a .name directive")
+	}
+	build := func(int) *preexec.Program { return p }
+	return preexec.Workload{
+		Name:        p.Name,
+		Description: "assembled .prx program",
+		Build:       build,
+		BuildTest:   build,
+	}, nil
+}
+
+// LoadPRX reads and assembles a .prx file. A program without a .name
+// directive is named after the file (base name, extension stripped);
+// assembly errors are prefixed with the path.
+func LoadPRX(path string) (*preexec.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.Name == "" {
+		p.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return p, nil
+}

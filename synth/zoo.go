@@ -1,0 +1,35 @@
+package synth
+
+// Zoo returns a curated scenario corpus spanning every pattern family and
+// the interesting corners of their knob spaces — the examples/scenariozoo
+// walkthrough evaluates it, and it doubles as a ready-made grid for sweep
+// experiments. The footprints are sized against the 256KB L2: "resident"
+// variants have nothing for pre-execution to tolerate (crafty-like), the
+// rest miss heavily.
+func Zoo() []Spec {
+	return []Spec{
+		// Pointer chases: the uniform ring is the mcf-like floor (misses
+		// feed miss addresses); clustering adds spatial locality; the
+		// resident ring is a crafty-like "nothing to tolerate" case.
+		{Name: "zoo.chase", Family: "chase", Seed: 1, FootprintWords: 1 << 16, Iters: 24_000},
+		{Name: "zoo.chase.clustered", Family: "chase", Seed: 1, FootprintWords: 1 << 16, Iters: 24_000, Clusters: 256},
+		{Name: "zoo.chase.resident", Family: "chase", Seed: 1, FootprintWords: 1 << 12, Iters: 24_000},
+
+		// Strided streams: register-computed addresses (vpr.p-like high
+		// coverage); the aliased variant thrashes four-plus streams through
+		// the same L2 sets.
+		{Name: "zoo.stride", Family: "stride", Seed: 1, FootprintWords: 1 << 16, Iters: 24_000, Stride: 9},
+		{Name: "zoo.stride.alias", Family: "stride", Seed: 1, FootprintWords: 1 << 13, Iters: 24_000, Stride: 9, Alias: 8},
+
+		// Hash probes: depth 1 is purely register-addressed, depth 3 is a
+		// dependent probe chain.
+		{Name: "zoo.hash", Family: "hash", Seed: 1, FootprintWords: 1 << 16, Iters: 24_000, Depth: 1},
+		{Name: "zoo.hash.deep", Family: "hash", Seed: 1, FootprintWords: 1 << 16, Iters: 12_000, Depth: 3},
+
+		// Tree, graph, and gather/scatter kernels.
+		{Name: "zoo.btree", Family: "btree", Seed: 1, FootprintWords: 1 << 16, Iters: 8_000},
+		{Name: "zoo.graph", Family: "graph", Seed: 1, FootprintWords: 1 << 16, Iters: 10_000, Degree: 4},
+		{Name: "zoo.gather", Family: "gather", Seed: 1, FootprintWords: 1 << 16, Iters: 20_000},
+		{Name: "zoo.scatter", Family: "gather", Seed: 1, FootprintWords: 1 << 16, Iters: 20_000, Scatter: true},
+	}
+}
