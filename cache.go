@@ -118,6 +118,114 @@ func (s CacheStats) sub(prev CacheStats) CacheStats {
 	}
 }
 
+// FlightGroup coalesces concurrent computations of the same key: while one
+// caller computes, every other caller asking for that key waits for — and
+// shares — its result. Unlike the stage maps inside StageCache it does NOT
+// memoize: the entry is dropped the moment the computation finishes, so a
+// later request computes afresh (and, for the evaluation service, lands on
+// the StageCache for the expensive stages). It is the request-level
+// single-flight layer of the serve package: N concurrent identical
+// /v1/evaluate requests run one full evaluation between them.
+//
+// Failed computations follow the StageCache contract: the failure (typically
+// the computing caller's own cancellation) is returned only to the caller
+// whose compute it was; coalesced waiters retry with their own contexts, so
+// one client's disconnect cannot fail another's identical request.
+//
+// The zero FlightGroup is ready for concurrent use.
+type FlightGroup[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+
+	// flights counts computations actually started; shared counts calls
+	// served by coalescing onto another caller's flight.
+	flights atomic.Int64
+	shared  atomic.Int64
+	// waiting gauges callers currently blocked on another flight (tests and
+	// the /v1/stats in-flight accounting).
+	waiting atomic.Int64
+}
+
+type flight[V any] struct {
+	done chan struct{} // closed when val/ok are set
+	val  V
+	ok   bool // false: the flight failed, waiters retry
+}
+
+// Stats returns the group's cumulative counters: computations started and
+// calls served by coalescing.
+func (g *FlightGroup[K, V]) Stats() (flights, shared int64) {
+	return g.flights.Load(), g.shared.Load()
+}
+
+// Waiting gauges the callers currently blocked on another caller's flight.
+func (g *FlightGroup[K, V]) Waiting() int64 { return g.waiting.Load() }
+
+// Do returns compute(key)'s result, coalescing concurrent calls for the same
+// key onto a single computation. shared reports whether this call was served
+// by another caller's flight. Cancelling ctx abandons waiting (the flight
+// itself keeps running for its owner).
+func (g *FlightGroup[K, V]) Do(ctx context.Context, key K, compute func() (V, error)) (v V, shared bool, err error) {
+	var zero V
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, false, err
+		}
+		g.mu.Lock()
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			g.waiting.Add(1)
+			select {
+			case <-f.done:
+				g.waiting.Add(-1)
+				if !f.ok {
+					// The flight failed; its entry is already gone. Retry
+					// (and compute, if nobody else has started).
+					continue
+				}
+				g.shared.Add(1)
+				return f.val, true, nil
+			case <-ctx.Done():
+				g.waiting.Add(-1)
+				return zero, false, ctx.Err()
+			}
+		}
+		if g.m == nil {
+			g.m = make(map[K]*flight[V])
+		}
+		f := &flight[V]{done: make(chan struct{})}
+		g.m[key] = f
+		g.mu.Unlock()
+		g.flights.Add(1)
+
+		// The flight must land even if compute panics (an http.Handler
+		// recovers the panic and keeps serving, so a leaked entry would
+		// wedge this key forever): treat a panicking compute as a failed
+		// flight — waiters retry — and let the panic propagate.
+		landed := false
+		defer func() {
+			if landed {
+				return
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(f.done) // f.ok stays false: waiters retry
+		}()
+		v, err := compute()
+		landed = true
+		g.mu.Lock()
+		delete(g.m, key) // no memoization: success and failure both drop
+		g.mu.Unlock()
+		f.val, f.ok = v, err == nil
+		close(f.done)
+		if err != nil {
+			return zero, false, err
+		}
+		return v, false, nil
+	}
+}
+
 type baseKey struct {
 	prog *Program
 	cfg  TimingConfig

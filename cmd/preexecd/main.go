@@ -1,0 +1,121 @@
+// Command preexecd runs the pre-execution evaluation service: the package
+// serve HTTP/JSON API over one shared stage cache, one workload registry,
+// and one bounded simulation worker pool.
+//
+// Usage:
+//
+//	preexecd [-addr host:port] [-workers N] [-cachelimit N]
+//
+// Endpoints (see the README "Serving" section for request formats):
+//
+//	GET  /v1/workloads   registry listing
+//	POST /v1/workloads   upload a .prx source or synth.Spec
+//	POST /v1/evaluate    one benchmark x one configuration
+//	POST /v1/sweep       grid evaluation (JSON/CSV, optional progress stream)
+//	GET  /v1/stats       cache / request / coalescing counters
+//
+// SIGINT and SIGTERM drain in-flight requests (and cancel their
+// simulations) before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"preexec/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8321", "listen address")
+		workers    = flag.Int("workers", 0, "server-wide simulation concurrency (0 = all cores)")
+		cachelimit = flag.Int("cachelimit", 0, "stage cache LRU bound, entries per stage (0 = unlimited)")
+	)
+	flag.Parse()
+	log.SetPrefix("preexecd: ")
+	log.SetFlags(log.LstdFlags)
+
+	srv := serve.New(serve.WithWorkers(*workers), serve.WithCacheLimit(*cachelimit))
+	// Request contexts derive from baseCtx so shutdown can actually cancel
+	// in-flight simulations (http.Server.Shutdown alone only waits for
+	// connections to go idle — a long sweep would burn CPU until the
+	// deadline and then be cut off mid-response).
+	baseCtx, cancelRequests := context.WithCancel(context.Background())
+	defer cancelRequests()
+	httpSrv := &http.Server{
+		Addr:        *addr,
+		Handler:     logRequests(srv),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on http://%s (workers=%d, cachelimit=%d)", *addr, srv.Workers(), *cachelimit)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Quick requests get a grace period to finish cleanly; whatever is
+		// still simulating after it is cancelled through its own context.
+		grace := time.AfterFunc(2*time.Second, cancelRequests)
+		defer grace.Stop()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+// statusWriter records the response status for the request log, forwarding
+// Flush so streamed sweeps keep flushing per cell.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -52,6 +52,15 @@ func (timingSimulator) Simulate(ctx context.Context, p *Program, pts []*PThread,
 	return timing.RunContext(ctx, p, pts, cfg)
 }
 
+// ReferenceStages returns the built-in reference stage backends — the ones
+// New installs by default. They exist for callers that wrap stages with
+// cross-cutting behaviour (the serve package gates the expensive stages
+// through a server-wide worker pool) while keeping results bit-identical to
+// the defaults.
+func ReferenceStages() (Profiler, Selector, Simulator) {
+	return sliceProfiler{}, treeSelector{}, timingSimulator{}
+}
+
 // Engine runs the pre-execution pipeline. Build one with New; the zero
 // Engine is not usable.
 type Engine struct {

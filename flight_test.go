@@ -1,0 +1,213 @@
+package preexec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlightGroupCoalesces pins the single-flight contract: callers that
+// arrive while a computation is in flight share its result without
+// computing, and — unlike the stage cache — nothing is memoized once the
+// flight lands.
+func TestFlightGroupCoalesces(t *testing.T) {
+	ctx := context.Background()
+	var g FlightGroup[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	type outcome struct {
+		v      int
+		shared bool
+		err    error
+	}
+	results := make(chan outcome, 4)
+	go func() {
+		v, shared, err := g.Do(ctx, "k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		results <- outcome{v, shared, err}
+	}()
+	<-started
+	for i := 0; i < 3; i++ {
+		go func() {
+			v, shared, err := g.Do(ctx, "k", func() (int, error) {
+				return 0, errors.New("a coalesced caller computed")
+			})
+			results <- outcome{v, shared, err}
+		}()
+	}
+	waitFor(t, "3 waiters to block", func() bool { return g.Waiting() == 3 })
+	close(release)
+
+	var sharedCount int
+	for i := 0; i < 4; i++ {
+		out := <-results
+		if out.err != nil {
+			t.Fatalf("caller %d: %v", i, out.err)
+		}
+		if out.v != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, out.v)
+		}
+		if out.shared {
+			sharedCount++
+		}
+	}
+	if sharedCount != 3 {
+		t.Errorf("%d callers coalesced, want 3", sharedCount)
+	}
+	if flights, shared := g.Stats(); flights != 1 || shared != 3 {
+		t.Errorf("stats = %d flights / %d shared, want 1 / 3", flights, shared)
+	}
+
+	// No memoization: a request after the flight landed computes afresh.
+	v, shared, err := g.Do(ctx, "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("post-flight Do = (%d, %v, %v), want a fresh computation of 7", v, shared, err)
+	}
+	if flights, _ := g.Stats(); flights != 2 {
+		t.Errorf("flights = %d after second computation, want 2", flights)
+	}
+}
+
+// TestFlightGroupFailureNotShared: a failed flight is returned only to its
+// owner; coalesced waiters retry with their own computation instead of
+// inheriting the failure (the serve contract that one client's disconnect
+// cannot fail another's identical request).
+func TestFlightGroupFailureNotShared(t *testing.T) {
+	ctx := context.Background()
+	var g FlightGroup[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	boom := errors.New("boom")
+
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func() (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		})
+		ownerErr <- err
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, _, err := g.Do(ctx, "k", func() (int, error) { return 99, nil })
+		if err != nil || v != 99 {
+			t.Errorf("waiter after failed flight: (%d, %v), want (99, nil)", v, err)
+		}
+	}()
+	waitFor(t, "the waiter to block", func() bool { return g.Waiting() == 1 })
+	close(release)
+
+	if err := <-ownerErr; !errors.Is(err, boom) {
+		t.Fatalf("owner error = %v, want boom", err)
+	}
+	<-waiterDone
+}
+
+// TestFlightGroupPanicUnwedgesKey: a panicking compute must not leak its
+// in-flight entry — the panic propagates to the owner (an http.Handler
+// recovers it and keeps serving), waiters retry, and the key computes
+// normally afterwards.
+func TestFlightGroupPanicUnwedgesKey(t *testing.T) {
+	ctx := context.Background()
+	var g FlightGroup[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		defer func() {
+			if recover() == nil {
+				t.Error("compute's panic did not propagate to the owner")
+			}
+		}()
+		g.Do(ctx, "k", func() (int, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, _, err := g.Do(ctx, "k", func() (int, error) { return 99, nil })
+		if err != nil || v != 99 {
+			t.Errorf("waiter after panicked flight: (%d, %v), want (99, nil)", v, err)
+		}
+	}()
+	waitFor(t, "the waiter to block", func() bool { return g.Waiting() == 1 })
+	close(release)
+	<-ownerDone
+	<-waiterDone
+
+	// The key is not wedged: a fresh request computes immediately.
+	v, shared, err := g.Do(ctx, "k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 || shared {
+		t.Fatalf("post-panic Do = (%d, %v, %v), want a fresh computation of 5", v, shared, err)
+	}
+}
+
+// TestFlightGroupWaiterCancellation: a waiter whose context ends stops
+// waiting with its own context error while the flight completes for its
+// owner.
+func TestFlightGroupWaiterCancellation(t *testing.T) {
+	var g FlightGroup[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		v, _, err := g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("owner: (%d, %v), want (42, nil)", v, err)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		_, _, err := g.Do(ctx, "k", func() (int, error) { return 0, errors.New("computed") })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled waiter error = %v, want context.Canceled", err)
+		}
+	}()
+	waitFor(t, "the waiter to block", func() bool { return g.Waiting() == 1 })
+	cancel()
+	<-waiterDone
+	close(release)
+	<-ownerDone
+
+	if _, shared := g.Stats(); shared != 0 {
+		t.Errorf("shared = %d after cancelled wait, want 0", shared)
+	}
+}

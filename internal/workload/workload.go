@@ -28,6 +28,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,15 @@ import (
 
 	"preexec/internal/program"
 )
+
+// ErrUnknown is wrapped by ByName's unknown-benchmark error so callers that
+// map failures onto transport-level codes (the serve package's 404) can
+// classify it with errors.Is without matching message text.
+var ErrUnknown = errors.New("unknown benchmark")
+
+// ErrDuplicate is wrapped by Register's name-collision error (serve maps it
+// to 409 Conflict).
+var ErrDuplicate = errors.New("already registered")
 
 // Workload is one benchmark in the suite.
 type Workload struct {
@@ -84,7 +94,7 @@ func Register(w Workload) error {
 	defer regMu.Unlock()
 	for _, have := range registry {
 		if strings.EqualFold(have.Name, w.Name) {
-			return fmt.Errorf("workload: Register %q: already registered", w.Name)
+			return fmt.Errorf("workload: Register %q: %w", w.Name, ErrDuplicate)
 		}
 	}
 	registry = append(registry, w)
@@ -139,6 +149,6 @@ func ByName(name string) (Workload, error) {
 		}
 	}
 	regMu.RUnlock()
-	return Workload{}, fmt.Errorf("workload: unknown benchmark %q (valid: %s)",
-		name, strings.Join(Names(), ", "))
+	return Workload{}, fmt.Errorf("workload: %w %q (valid: %s)",
+		ErrUnknown, name, strings.Join(Names(), ", "))
 }

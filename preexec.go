@@ -90,8 +90,19 @@ func Workloads() []Workload { return workload.All() }
 // WorkloadNames returns the suite's benchmark names in order.
 func WorkloadNames() []string { return workload.Names() }
 
+// ErrUnknownWorkload is wrapped by the unknown-benchmark errors of
+// WorkloadByName and everything built on it (EvaluateSuite, SweepBenches),
+// so callers — notably the serve package's HTTP error mapping — can
+// classify lookup failures with errors.Is.
+var ErrUnknownWorkload = workload.ErrUnknown
+
+// ErrDuplicateWorkload is wrapped by RegisterWorkload's name-collision
+// error (serve maps it to 409 Conflict).
+var ErrDuplicateWorkload = workload.ErrDuplicate
+
 // WorkloadByName finds a benchmark by name. Lookup is case-insensitive and
-// the error for an unknown name lists every valid one.
+// the error for an unknown name — which wraps ErrUnknownWorkload — lists
+// every valid one.
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
 
 // RegisterWorkload adds a workload to the global registry, making it a

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"preexec"
+)
+
+// errorResponse is the uniform JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps a pipeline error onto an HTTP status: unknown workloads are
+// 404 (the name is the resource), registry collisions 409, oversized bodies
+// 413, and everything else — validation failures surfaced by the library
+// entry points — 400.
+func statusFor(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, preexec.ErrUnknownWorkload):
+		return http.StatusNotFound
+	case errors.Is(err, preexec.ErrDuplicateWorkload):
+		return http.StatusConflict
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// cancelled reports whether the request failed because its context ended —
+// a client disconnect or the server draining for shutdown. The handler
+// cannot tell the two apart, so it always answers 503: a disconnected
+// client never sees it, and a still-connected client during shutdown gets
+// an honest error instead of an empty 200.
+func cancelled(ctx context.Context, err error) bool {
+	return ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// decodeBody strictly decodes the request body into dst: unknown fields,
+// malformed JSON, trailing garbage, and oversize bodies are all 4xx errors
+// the caller reports with the field context it has. The trailing check
+// needs both probes: More() catches a second value, Token() catches a
+// stray closing delimiter More() does not consider "another element".
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("request body: trailing data after JSON object")
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("request body: trailing data after JSON object")
+	}
+	return nil
+}
+
+// decodeConfig decodes an optional configuration fragment over the paper's
+// defaults: absent fields keep their DefaultConfig values, so a request can
+// say only what it changes (and the zero-Config pitfall — Optimize/Merge
+// silently off — cannot happen over HTTP).
+func decodeConfig(raw json.RawMessage) (preexec.Config, error) {
+	cfg := preexec.DefaultConfig()
+	if len(raw) == 0 {
+		return cfg, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return preexec.Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,105 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+
+	"preexec"
+	"preexec/internal/sweepio"
+	"preexec/serve"
+)
+
+// TestSweepGoldenBitIdentical replays the recorded /v1/sweep request in
+// testdata/sweep_golden.json — 3 workloads x 4 selection configurations —
+// against a fresh server and requires the HTTP response to be byte-for-byte
+// identical to a direct preexec.Sweep run rendered through the same
+// internal/sweepio encoder: the serving layer adds no numeric drift, no
+// field reordering, and no cache-counter skew.
+func TestSweepGoldenBitIdentical(t *testing.T) {
+	raw, err := os.ReadFile("testdata/sweep_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := newTestServer(t, serve.WithWorkers(2))
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got.Bytes())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q, want application/json", ct)
+	}
+
+	// The same grid through the library: decoded exactly as the handler
+	// decodes it (point configurations merge over DefaultConfig).
+	var req struct {
+		Benches []string `json:"benches"`
+		Scale   int      `json:"scale"`
+		Workers int      `json:"workers"`
+		Points  []struct {
+			Name   string          `json:"name"`
+			Config json.RawMessage `json:"config"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Benches) != 3 || len(req.Points) != 4 {
+		t.Fatalf("golden request is %dx%d, want 3x4", len(req.Benches), len(req.Points))
+	}
+	benches, err := preexec.SweepBenches(req.Benches, req.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := make([]preexec.ConfigPoint, len(req.Points))
+	for i, pt := range req.Points {
+		cfg := preexec.DefaultConfig()
+		if err := json.Unmarshal(pt.Config, &cfg); err != nil {
+			t.Fatal(err)
+		}
+		points[i] = preexec.ConfigPoint{Name: pt.Name, Config: cfg}
+	}
+	sweep := &preexec.Sweep{Workers: req.Workers}
+	res, err := sweep.Run(context.Background(), benches, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := sweepio.Emit(&want, res, sweepio.Options{JSON: true, Point: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("HTTP sweep response differs from the direct library run\nhttp:    %s\nlibrary: %s",
+			firstDiffContext(got.Bytes(), want.Bytes()), firstDiffContext(want.Bytes(), got.Bytes()))
+	}
+}
+
+// firstDiffContext trims a to a window around its first difference from b,
+// keeping the failure message readable on multi-KB payloads.
+func firstDiffContext(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	start, end := i-80, i+80
+	if start < 0 {
+		start = 0
+	}
+	if end > len(a) {
+		end = len(a)
+	}
+	return a[start:end]
+}

@@ -1,0 +1,216 @@
+// Package serve exposes the pre-execution evaluation pipeline as a
+// long-running HTTP/JSON service — the scaling layer that lets many clients
+// share one process, one workload registry, and one StageCache instead of
+// each linking the library and paying cold-start per process.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /v1/workloads   registry listing: benchmarks + synth families
+//	POST /v1/workloads   upload a .prx source or synth.Spec, register it
+//	POST /v1/evaluate    one benchmark x one configuration -> Report
+//	POST /v1/sweep       grid request -> SweepResult (JSON or CSV; optional
+//	                     NDJSON progress stream)
+//	GET  /v1/stats       cache + request + single-flight counters
+//
+// The scheduling core layers three mechanisms over the library:
+//
+//   - Request coalescing: identical in-flight /v1/evaluate requests are
+//     single-flighted (preexec.FlightGroup) above the StageCache, so N
+//     concurrent clients asking for the same cell cost one full evaluation.
+//   - Stage memoization: all requests share one StageCache, and programs are
+//     built once per (workload, scale) and reused by pointer, so the cache's
+//     program-identity keys hit across requests. N sequential identical
+//     evaluations still perform exactly one base timing run and one profile.
+//   - Bounded compute: the expensive stages (timing simulation, functional
+//     profiling) of every request pass through one server-wide worker gate,
+//     so request count bounds neither simulator concurrency nor memory.
+//
+// Per-request contexts propagate into the simulation hot loops: a client
+// disconnect cancels its evaluation promptly. A cancelled computation is
+// returned only to the client that owned it; coalesced waiters retry.
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"preexec"
+)
+
+// defaultMaxBody bounds request bodies (a generated .prx for a 4M-word
+// footprint disassembles to tens of MB; anything bigger is abuse and is
+// answered 413).
+const defaultMaxBody = 64 << 20
+
+// uploadLimit caps the run-time workload registrations a server accepts
+// over POST /v1/workloads. The registry is process-global and every entry
+// pins its program forever, so the HTTP surface — unlike a trusted embedder
+// using the library — must bound it (429 beyond the cap).
+const uploadLimit = 256
+
+// Server is the evaluation service. Build one with New; it serves HTTP via
+// its Handler (or directly: *Server implements http.Handler).
+type Server struct {
+	workers int
+	maxBody int64
+
+	cache      *preexec.StageCache
+	cacheLimit int
+
+	// The stage backends shared by every request-built engine: the reference
+	// implementations with the expensive stages gated through the worker
+	// pool. Sharing one backend set keeps the StageCache contract (all
+	// engines on one cache must use the same backends).
+	profiler  preexec.Profiler
+	selector  preexec.Selector
+	simulator preexec.Simulator
+	// base carries the shared backends into Sweep.Plan.
+	base *preexec.Engine
+
+	// flights coalesces identical in-flight evaluate requests.
+	flights preexec.FlightGroup[string, preexec.Report]
+
+	// gate is the server-wide worker pool every expensive unit — timing
+	// runs, profiles, program builds — passes through.
+	gate gate
+
+	// programs holds the benchmarks built so far, keyed by (canonical name,
+	// scale), LRU-bounded to programCacheLimit entries. Pointer-stable
+	// programs are what make the StageCache hit across requests. Entries
+	// are never invalidated by name: the HTTP surface can only add registry
+	// names (uploads reject duplicates), so a cached program can never
+	// belong to a name that since changed meaning. Embedders sharing the
+	// process must honour the same invariant — re-binding a name via
+	// preexec.UnregisterWorkload + RegisterWorkload while a Server is live
+	// would serve the old program until LRU pressure evicts it; start a new
+	// Server (they are cheap) after re-binding instead. builds
+	// single-flights construction per key, outside the lock.
+	progMu   sync.Mutex
+	programs map[progKey]*progEntry
+	progTick int64
+	builds   preexec.FlightGroup[progKey, preexec.SweepBench]
+
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	uploads   atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithWorkers bounds the server-wide concurrency of the expensive pipeline
+// stages (<= 0 = GOMAXPROCS). Every evaluate request and sweep cell acquires
+// a slot around each timing run or profile, so the bound holds regardless of
+// how many requests are in flight.
+func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
+
+// WithCacheLimit bounds the server's StageCache to n entries per stage via
+// the LRU policy of preexec.WithStageCacheLimit (<= 0 = unlimited, the
+// default). Ignored when WithStageCache supplies the cache.
+func WithCacheLimit(n int) Option { return func(s *Server) { s.cacheLimit = n } }
+
+// WithStageCache shares an externally-owned stage cache instead of building
+// one — for embedding the server next to library sweeps that should reuse
+// the same memoized stages, and for tests asserting cache behaviour.
+func WithStageCache(c *preexec.StageCache) Option { return func(s *Server) { s.cache = c } }
+
+// New builds a Server ready to serve.
+func New(opts ...Option) *Server {
+	s := &Server{
+		workers:  runtime.GOMAXPROCS(0),
+		maxBody:  defaultMaxBody,
+		programs: make(map[progKey]*progEntry),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.cache == nil {
+		if s.cacheLimit > 0 {
+			s.cache = preexec.NewStageCache(preexec.WithStageCacheLimit(s.cacheLimit))
+		} else {
+			s.cache = preexec.NewStageCache()
+		}
+	}
+	s.gate = make(gate, s.workers)
+	profiler, selector, simulator := preexec.ReferenceStages()
+	s.profiler = gatedProfiler{g: s.gate, p: profiler}
+	s.selector = selector // selection is cheap and stays ungated
+	s.simulator = gatedSimulator{g: s.gate, s: simulator}
+	s.base = preexec.New(
+		preexec.WithProfiler(s.profiler),
+		preexec.WithSelector(s.selector),
+		preexec.WithSimulator(s.simulator),
+	)
+
+	// One route table drives both the mux registrations and the catch-all's
+	// 405 map, so the two can never drift apart.
+	routes := []struct {
+		method, path string
+		handler      http.HandlerFunc
+	}{
+		{"GET", "/v1/workloads", s.handleWorkloadsList},
+		{"POST", "/v1/workloads", s.handleWorkloadsUpload},
+		{"POST", "/v1/evaluate", s.handleEvaluate},
+		{"POST", "/v1/sweep", s.handleSweep},
+		{"GET", "/v1/stats", s.handleStats},
+	}
+	s.mux = http.NewServeMux()
+	allowed := make(map[string]string)
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.method+" "+rt.path, rt.handler)
+		if allowed[rt.path] != "" {
+			allowed[rt.path] += ", "
+		}
+		allowed[rt.path] += rt.method
+	}
+	// The catch-all keeps errors JSON. It sees wrong-method requests to real
+	// endpoints too (the "/" pattern matches every method), so it answers
+	// those with 405 + Allow rather than a misleading 404.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if allow, ok := allowed[r.URL.Path]; ok {
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed, "%s does not allow %s (allowed: %s)",
+				r.URL.Path, r.Method, allow)
+			return
+		}
+		writeError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler, tracking the in-flight and completed
+// request gauges reported by /v1/stats (the in-flight count includes the
+// stats request reading it).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		s.completed.Add(1)
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Workers returns the server-wide stage-concurrency bound.
+func (s *Server) Workers() int { return s.workers }
+
+// Cache returns the server's shared stage cache.
+func (s *Server) Cache() *preexec.StageCache { return s.cache }
+
+// engine builds the per-request engine: the submitted configuration over the
+// shared gated backends and the shared stage cache.
+func (s *Server) engine(cfg preexec.Config) *preexec.Engine {
+	return preexec.New(
+		preexec.WithConfig(cfg),
+		preexec.WithProfiler(s.profiler),
+		preexec.WithSelector(s.selector),
+		preexec.WithSimulator(s.simulator),
+		preexec.WithStageCache(s.cache),
+	)
+}

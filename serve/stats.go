@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net/http"
+
+	"preexec"
+)
+
+// statsResponse is the GET /v1/stats body: the shared cache's counters plus
+// the request and single-flight gauges.
+type statsResponse struct {
+	// Cache is the shared StageCache's cumulative hit/run/eviction counters.
+	Cache preexec.CacheStats `json:"cache"`
+	// CacheEntries is the entry count currently held per stage (bounded by
+	// the configured cache limit, if any).
+	CacheEntries struct {
+		Base    int `json:"base"`
+		Profile int `json:"profile"`
+	} `json:"cache_entries"`
+	// Requests gauges HTTP traffic; InFlight includes the stats request
+	// reporting it.
+	Requests struct {
+		InFlight  int64 `json:"in_flight"`
+		Completed int64 `json:"completed"`
+	} `json:"requests"`
+	// Flights counts the evaluate endpoint's request coalescing: Started is
+	// evaluations actually computed, Coalesced is requests served by another
+	// request's in-flight evaluation, Waiting gauges requests currently
+	// blocked on one.
+	Flights struct {
+		Started   int64 `json:"started"`
+		Coalesced int64 `json:"coalesced"`
+		Waiting   int64 `json:"waiting"`
+	} `json:"flights"`
+	// ProgramsCached counts the (workload, scale) programs built and held
+	// for cross-request cache identity.
+	ProgramsCached int `json:"programs_cached"`
+	// Workloads is the registry size (builtins + run-time registrations).
+	Workloads int `json:"workloads"`
+	// Workers is the server-wide stage-concurrency bound.
+	Workers int `json:"workers"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.Cache = s.cache.Stats()
+	resp.CacheEntries.Base, resp.CacheEntries.Profile = s.cache.Len()
+	resp.Requests.InFlight = s.inFlight.Load()
+	resp.Requests.Completed = s.completed.Load()
+	resp.Flights.Started, resp.Flights.Coalesced = s.flights.Stats()
+	resp.Flights.Waiting = s.flights.Waiting()
+	resp.ProgramsCached = s.cachedPrograms()
+	resp.Workloads = len(preexec.WorkloadNames())
+	resp.Workers = s.workers
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"preexec"
+	"preexec/internal/sweepio"
+)
+
+// sweepRequest is an externally-submitted evaluation grid: benchmarks x
+// named configuration points, evaluated through the shared memoized sweep
+// subsystem.
+type sweepRequest struct {
+	// Benches names the grid's benchmarks (empty = every registered
+	// workload).
+	Benches []string `json:"benches,omitempty"`
+	Scale   int      `json:"scale,omitempty"`
+	// Points are the grid's configuration points; empty means the single
+	// paper-default "base" point.
+	Points []sweepPoint `json:"points,omitempty"`
+	// Workers bounds this request's concurrent cells; it is clamped to the
+	// server-wide stage gate either way (<= 0 = the server bound).
+	Workers int `json:"workers,omitempty"`
+	// Format selects the response rendering: "json" (default, the full
+	// SweepResult) or "csv" (per-cell rows, the cmd/tsweep columns).
+	Format string `json:"format,omitempty"`
+	// Stream switches the response to NDJSON chunks: one
+	// {"event":"cell",...} line per completed cell as it finishes, then a
+	// final {"event":"result",...} (or {"event":"error",...}) line.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// sweepPoint mirrors preexec.ConfigPoint for requests: Config decodes over
+// DefaultConfig like the evaluate endpoint's.
+type sweepPoint struct {
+	Name   string          `json:"name"`
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	switch req.Format {
+	case "", "json", "csv":
+	default:
+		writeError(w, http.StatusBadRequest, "format: %q, want json or csv", req.Format)
+		return
+	}
+	if req.Stream && req.Format == "csv" {
+		writeError(w, http.StatusBadRequest, "stream: only the json format can stream")
+		return
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 1 {
+		writeError(w, http.StatusBadRequest, "scale: %d, want >= 1", req.Scale)
+		return
+	}
+	ctx := r.Context()
+	benches, err := s.benchesFor(ctx, req.Benches, scale)
+	if err != nil {
+		if cancelled(ctx, err) {
+			writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+			return
+		}
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	points := make([]preexec.ConfigPoint, 0, len(req.Points))
+	if len(req.Points) == 0 {
+		points = append(points, preexec.ConfigPoint{Name: "base", Config: preexec.DefaultConfig()})
+	}
+	for i, pt := range req.Points {
+		if pt.Name == "" {
+			writeError(w, http.StatusBadRequest, "points[%d].name: required", i)
+			return
+		}
+		cfg, err := decodeConfig(pt.Config)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "points[%d].config: %v", i, err)
+			return
+		}
+		points = append(points, preexec.ConfigPoint{Name: pt.Name, Config: cfg})
+	}
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.workers {
+		workers = s.workers
+	}
+	sweep := &preexec.Sweep{Engine: s.base, Workers: workers, Cache: s.cache}
+
+	// Validate the grid while a status code can still be chosen — once a
+	// stream starts, errors can only be trailing events. Run plans again
+	// internally; planning is cheap next to one simulated cell.
+	if _, err := sweep.Plan(benches, points, nil); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if !req.Stream {
+		res, err := sweep.Run(ctx, benches, points)
+		if err != nil {
+			if cancelled(ctx, err) {
+				writeError(w, http.StatusServiceUnavailable, "sweep cancelled: %v", err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "sweep: %v", err)
+			return
+		}
+		if req.Format == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			_ = sweepio.Emit(w, res, sweepio.Options{CSV: true, Point: true})
+			return
+		}
+		// The JSON rendering is the library's own (internal/sweepio), so a
+		// served sweep is byte-identical to a direct preexec.Sweep run —
+		// pinned by the golden test.
+		w.Header().Set("Content-Type", "application/json")
+		_ = sweepio.Emit(w, res, sweepio.Options{JSON: true, Point: true})
+		return
+	}
+
+	// Streaming: progress events flush as cells complete. Suite.Progress
+	// calls are serialized, and the final event is written only after Run
+	// returns, so the encoder is never written concurrently.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sweep.Progress = func(ev preexec.SuiteEvent) {
+		_ = enc.Encode(struct {
+			Event string             `json:"event"`
+			Cell  preexec.SuiteEvent `json:"cell"`
+		}{"cell", ev})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, err := sweep.Run(ctx, benches, points)
+	if err != nil {
+		_ = enc.Encode(struct {
+			Event string `json:"event"`
+			Error string `json:"error"`
+		}{"error", err.Error()})
+		return
+	}
+	_ = enc.Encode(struct {
+		Event  string               `json:"event"`
+		Result *preexec.SweepResult `json:"result"`
+	}{"result", res})
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"preexec"
+	"preexec/synth"
+)
+
+// workloadInfo is one registry entry of the listing.
+type workloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// familyInfo describes one synth pattern family accepted by spec uploads.
+type familyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Knobs       string `json:"knobs"`
+}
+
+// workloadsResponse is the GET /v1/workloads body.
+type workloadsResponse struct {
+	// Workloads lists every evaluable benchmark: the ten builtins plus
+	// everything registered at run time (uploads included), in name order.
+	Workloads []workloadInfo `json:"workloads"`
+	// Families lists the synth spec families a POST can instantiate.
+	Families []familyInfo `json:"families"`
+}
+
+func (s *Server) handleWorkloadsList(w http.ResponseWriter, r *http.Request) {
+	var resp workloadsResponse
+	for _, wl := range preexec.Workloads() {
+		resp.Workloads = append(resp.Workloads, workloadInfo{Name: wl.Name, Description: wl.Description})
+	}
+	for _, f := range synth.Families() {
+		resp.Families = append(resp.Families, familyInfo{Name: f.Name, Description: f.Description, Knobs: f.Knobs})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// uploadRequest registers a new workload: exactly one of PRX (a textual .prx
+// program, which must carry a .name directive) or Spec (a synth.Spec JSON
+// object) must be given.
+type uploadRequest struct {
+	PRX  string          `json:"prx,omitempty"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// uploadResponse names what was registered.
+type uploadResponse struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleWorkloadsUpload(w http.ResponseWriter, r *http.Request) {
+	var req uploadRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	var (
+		wl  preexec.Workload
+		err error
+	)
+	switch {
+	case req.PRX != "" && len(req.Spec) > 0:
+		writeError(w, http.StatusBadRequest, "prx and spec are mutually exclusive")
+		return
+	case req.PRX != "":
+		if wl, err = synth.WorkloadFromPRX([]byte(req.PRX)); err != nil {
+			writeError(w, http.StatusBadRequest, "prx: %v", err)
+			return
+		}
+	case len(req.Spec) > 0:
+		var spec synth.Spec
+		if spec, err = synth.SpecFromJSON(req.Spec); err == nil {
+			wl, err = spec.Workload()
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "spec: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "give prx (a .prx source) or spec (a synth.Spec object)")
+		return
+	}
+	// The registry is process-global and every registration pins its
+	// program for the server's lifetime, so the HTTP surface caps how many
+	// it will add — without a bound, looping uploads would grow memory
+	// monotonically (the same reasoning that bounds the program cache).
+	if n := s.uploads.Add(1); n > uploadLimit {
+		s.uploads.Add(-1)
+		writeError(w, http.StatusTooManyRequests,
+			"upload limit reached: this server registers at most %d uploaded workloads", uploadLimit)
+		return
+	}
+	if err := preexec.RegisterWorkload(wl); err != nil {
+		s.uploads.Add(-1)
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, uploadResponse{Name: wl.Name, Description: wl.Description})
+}

@@ -2,6 +2,7 @@ package preexec
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -25,19 +26,36 @@ type Job struct {
 	Engine *Engine
 }
 
-// SuiteEvent is one streaming progress notification.
+// SuiteEvent is one streaming progress notification. It marshals to JSON —
+// with Err rendered as an "error" string and the full report omitted — as
+// the per-cell event format of the serve package's streamed sweeps.
 type SuiteEvent struct {
 	// Index is the job's position in the input slice; Total the job count.
-	Index int
-	Total int
+	Index int `json:"index"`
+	Total int `json:"total"`
 	// Done is the number of jobs completed so far, including this one.
-	Done int
-	Name string
+	Done int    `json:"done"`
+	Name string `json:"name"`
 	// Report is the job's result; nil when Err is non-nil, and for
 	// progress sources (e.g. the experiment tables) whose unit of work is
 	// not a full evaluation.
-	Report *Report
-	Err    error
+	Report *Report `json:"-"`
+	Err    error   `json:"-"`
+}
+
+// MarshalJSON renders the event compactly for progress streams: the
+// positional counters plus Err as a string; the report itself is omitted
+// (streamed consumers read it from the final result).
+func (ev SuiteEvent) MarshalJSON() ([]byte, error) {
+	type plain SuiteEvent // avoid recursing into this method
+	out := struct {
+		plain
+		Error string `json:"error,omitempty"`
+	}{plain: plain(ev)}
+	if ev.Err != nil {
+		out.Error = ev.Err.Error()
+	}
+	return json.Marshal(out)
 }
 
 // ParallelEach runs fn(i) for every i in [0, n) across a bounded worker

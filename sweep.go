@@ -212,8 +212,11 @@ func (s *Sweep) Run(ctx context.Context, benches []SweepBench, points []ConfigPo
 	return res, err
 }
 
-// workloadsByName resolves benchmark names (all ten when empty), validating
-// every name before returning.
+// workloadsByName resolves benchmark names (all registered when empty),
+// validating every name before returning. A failed lookup is wrapped with
+// the offending list position so callers resolving externally-submitted
+// name lists (a -bench flag, a /v1/sweep "benches" array) can report which
+// entry was bad; the cause still matches ErrUnknownWorkload.
 func workloadsByName(names []string) ([]Workload, error) {
 	if len(names) == 0 {
 		return Workloads(), nil
@@ -222,7 +225,7 @@ func workloadsByName(names []string) ([]Workload, error) {
 	for i, name := range names {
 		w, err := WorkloadByName(name)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("preexec: benchmark %d of %d: %w", i+1, len(names), err)
 		}
 		ws[i] = w
 	}

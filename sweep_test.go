@@ -343,9 +343,16 @@ func TestSweepPlanValidation(t *testing.T) {
 
 // TestSweepBenchesValidation pins SweepBenches' up-front checks.
 func TestSweepBenchesValidation(t *testing.T) {
-	if _, err := preexec.SweepBenches([]string{"vpr.p", "nope"}, 1); err == nil ||
-		!strings.Contains(err.Error(), "nope") {
-		t.Errorf("bad name: err = %v", err)
+	// An unknown name reports its position in the submitted list (the
+	// context HTTP and CLI callers surface) and wraps the sentinel the
+	// serve package maps onto 404.
+	_, err := preexec.SweepBenches([]string{"vpr.p", "nope"}, 1)
+	if err == nil || !strings.Contains(err.Error(), "nope") ||
+		!strings.Contains(err.Error(), "benchmark 2 of 2") {
+		t.Errorf("bad name: err = %v, want position context", err)
+	}
+	if !errors.Is(err, preexec.ErrUnknownWorkload) {
+		t.Errorf("bad name: err = %v does not wrap ErrUnknownWorkload", err)
 	}
 	if _, err := preexec.SweepBenches([]string{"vpr.p"}, 0); err == nil ||
 		!strings.Contains(err.Error(), "scale") {

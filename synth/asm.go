@@ -239,6 +239,15 @@ func (a *assembler) parseDirective(line int, text string) {
 				a.errf(line, ".word value %q: %v", strings.TrimSpace(f), parseIntErr(err))
 				return
 			}
+			// The cursor must stay a valid non-negative byte address after
+			// every write: a .data directive near the top of the address
+			// space followed by enough words would otherwise wrap the cursor
+			// negative, producing an image the disassembler cannot render as
+			// re-assemblable .data/.word runs (found by FuzzAssemble).
+			if a.cursor < 0 {
+				a.errf(line, ".word data cursor overflowed the address space")
+				return
+			}
 			a.data.Write(a.cursor, v)
 			a.cursor += 8
 		}

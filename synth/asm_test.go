@@ -78,6 +78,11 @@ func TestAssembleErrors(t *testing.T) {
 		{"bad entry", ".entry nowhere\nhalt", 1, ".entry"},
 		{"malformed target", "nop\nbeq r1, r2, 1x2\nhalt", 2, "malformed target"},
 		{"target out of range", "nop\nj 5\nhalt", 2, "out of range"},
+		// A .data directive at the top of the address space must not let
+		// .word wrap the cursor to negative addresses: the resulting image
+		// would disassemble into source that cannot re-assemble (the fuzz
+		// targets' round-trip property).
+		{"data cursor overflow", ".data 0x7ffffffffffffff8\n.word 1, 2\nhalt", 2, "overflow"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds returns the corpus both fuzz targets start from: the README /
+// asm.go grammar example, a disassembly of one small generated program per
+// pattern family (so every instruction form and .data/.word shape appears),
+// and malformed fragments covering each diagnostic path.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	seeds := [][]byte{
+		// The documented grammar example (asm.go / README).
+		[]byte(".name vpr.mini\n.entry start\n.data 0x10000\n.word 7, 0x20, -3\n\n" +
+			"start:\n\tli r1, 0\nloop:\tbge r1, r2, done\n\tld r3, 8(r4)\n\taddi r1, r1, 1\n\tj loop\ndone:\thalt\n"),
+		// Every operand form on one line each.
+		[]byte(".name forms\nadd r1, r2, r3\naddi r4, r5, -8\nmov r6, r7\nli r8, 0x7fffffffffffffff\n" +
+			"ld r9, -16(r10)\nst r11, 0(r12)\nbeq r1, r2, 0\njal r13, 1\njr r13\nnop\nhalt\n"),
+		// Malformed fragments: one per diagnostic family.
+		[]byte("bogus r1, r2\n"),
+		[]byte("ld r1, 8[r2]\n"),
+		[]byte(".word 1, 2\n"),
+		[]byte(".data 7\n"),
+		[]byte("j nowhere\n"),
+		[]byte("dup: nop\ndup: nop\n"),
+		[]byte(".entry missing\nhalt\n"),
+		[]byte(".data 0x7ffffffffffffff8\n.word 1, 2\nhalt\n"),
+		[]byte(""),
+	}
+	// One small scenario per family: footprints at the validation floor keep
+	// the seed corpus kilobytes, not megabytes.
+	for _, fam := range FamilyNames() {
+		p, err := Generate(Spec{Family: fam, Seed: 7, FootprintWords: 256, Iters: 8})
+		if err != nil {
+			tb.Fatalf("seed spec %s: %v", fam, err)
+		}
+		seeds = append(seeds, Disassemble(p))
+	}
+	// And one curated zoo scenario, shrunk to keep assembly fast.
+	z := Zoo()[0]
+	z.FootprintWords, z.Iters = 1024, 64
+	p, err := Generate(z)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append(seeds, Disassemble(p))
+}
+
+// FuzzAssemble asserts the assembler's total-function contract on arbitrary
+// source: it never panics, every diagnostic is tied to a real source line,
+// and anything it accepts disassembles into re-assemblable source producing
+// an equivalent program.
+func FuzzAssemble(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		p, err := Assemble(src)
+		if err != nil {
+			checkDiagnostics(t, src, err)
+			return
+		}
+		d := Disassemble(p)
+		p2, err := Assemble(d)
+		if err != nil {
+			t.Fatalf("accepted program's disassembly does not re-assemble: %v\n--- disassembly:\n%s", err, d)
+		}
+		if !reflect.DeepEqual(p.Insts, p2.Insts) {
+			t.Fatalf("re-assembled instructions differ\n--- disassembly:\n%s", d)
+		}
+		if p.Entry != p2.Entry || p.Name != p2.Name {
+			t.Fatalf("re-assembly changed entry %d->%d or name %q->%q", p.Entry, p2.Entry, p.Name, p2.Name)
+		}
+		if !reflect.DeepEqual(p.Data.Runs(), p2.Data.Runs()) {
+			t.Fatalf("re-assembled data image differs\n--- disassembly:\n%s", d)
+		}
+	})
+}
+
+// checkDiagnostics walks a (possibly joined) assembly error: every LineError
+// must point into the source, and the whole must render non-empty.
+func checkDiagnostics(t *testing.T, src []byte, err error) {
+	t.Helper()
+	if err.Error() == "" {
+		t.Fatal("assembly failed with an empty message")
+	}
+	lines := 1 + bytes.Count(src, []byte("\n"))
+	var walk func(error)
+	walk = func(e error) {
+		var le *LineError
+		if errors.As(e, &le) && (le.Line < 1 || le.Line > lines) {
+			t.Fatalf("diagnostic %q points outside the %d-line source", le, lines)
+		}
+		if joined, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, sub := range joined.Unwrap() {
+				walk(sub)
+			}
+		}
+	}
+	walk(err)
+}
+
+// FuzzDisassembleRoundTrip asserts byte-stability: for any accepted source,
+// disassembling the re-assembled program reproduces the first disassembly
+// exactly (the canonical-form fixed point the .prx corpus tooling relies
+// on).
+func FuzzDisassembleRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		d1 := Disassemble(p)
+		p2, err := Assemble(d1)
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v\n--- disassembly:\n%s", err, d1)
+		}
+		d2 := Disassemble(p2)
+		if !bytes.Equal(d1, d2) {
+			i := 0
+			for i < len(d1) && i < len(d2) && d1[i] == d2[i] {
+				i++
+			}
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("disassembly is not a fixed point at byte %d:\n--- first:  ...%s\n--- second: ...%s",
+				i, clip(d1, lo, i+60), clip(d2, lo, i+60))
+		}
+	})
+}
+
+func clip(b []byte, lo, hi int) string {
+	if hi > len(b) {
+		hi = len(b)
+	}
+	if lo > len(b) {
+		lo = len(b)
+	}
+	return strings.ToValidUTF8(string(b[lo:hi]), "?")
+}

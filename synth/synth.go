@@ -30,7 +30,10 @@
 package synth
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -268,6 +271,27 @@ func (s Spec) AutoName() string {
 		fmt.Fprintf(&sb, "-c%d", s.Compute)
 	}
 	return sb.String()
+}
+
+// SpecFromJSON decodes a Spec from JSON, rejecting unknown fields and
+// trailing garbage — the strict entry point for externally-submitted specs
+// (cmd/tgen -spec files and the serve package's /v1/workloads uploads).
+// Decoding does not validate knob ranges; that happens when the spec is
+// generated or registered, with the family-specific message.
+func SpecFromJSON(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("synth: spec: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("synth: spec: trailing data after JSON object")
+	}
+	if _, err := dec.Token(); err != nil && err != io.EOF {
+		return Spec{}, fmt.Errorf("synth: spec: %w", err)
+	}
+	return s, nil
 }
 
 // Generate compiles the spec into a program. Equal specs generate
