@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // fakeProgs returns n distinct program identities (the cache keys on
@@ -72,6 +73,139 @@ func TestStageCacheUnlimitedByDefault(t *testing.T) {
 	}
 	if ev := c.Stats().Evictions; ev != 0 {
 		t.Fatalf("unlimited cache evicted %d entries", ev)
+	}
+}
+
+// TestStageCacheComputeRunsUnlocked observes dynamically what the lockscope
+// analyzer asserts statically for getOrCompute: the stage mutex guards only
+// map and LRU bookkeeping, never the compute itself, so a blocked
+// computation for one key cannot stall lookups of other keys.
+func TestStageCacheComputeRunsUnlocked(t *testing.T) {
+	ctx := context.Background()
+	c := NewStageCache()
+	cfg := TimingConfig{}
+	ps := fakeProgs(2)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		st, err := c.baseStats(ctx, ps[0], cfg, func() (Stats, error) {
+			close(started)
+			<-release
+			return Stats{Retired: 10}, nil
+		})
+		if err != nil || st.Retired != 10 {
+			t.Errorf("slow compute: (%+v, %v), want Retired 10", st, err)
+		}
+	}()
+	<-started
+
+	fastDone := make(chan struct{})
+	go func() {
+		defer close(fastDone)
+		st, err := c.baseStats(ctx, ps[1], cfg, func() (Stats, error) {
+			return Stats{Retired: 20}, nil
+		})
+		if err != nil || st.Retired != 20 {
+			t.Errorf("fast compute: (%+v, %v), want Retired 20", st, err)
+		}
+	}()
+	select {
+	case <-fastDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("p1 lookup blocked behind p0's compute: the stage lock is held across compute")
+	}
+	close(release)
+	<-slowDone
+	if st := c.Stats(); st.BaseRuns != 2 || st.BaseHits != 0 {
+		t.Errorf("stats = %+v, want 2 runs / 0 hits", st)
+	}
+}
+
+// TestStageCacheEvictionOfInflightEntry pins the eviction-accounting
+// contract while a compute is blocked in flight: the LRU bound may unmap an
+// entry whose computation is still running; the evicted flight completes
+// normally for its owner, a later request for the same key recomputes
+// rather than coalescing onto the evicted entry (it would otherwise block
+// behind a flight no longer reachable from the map), and eviction counters
+// stay exact throughout.
+func TestStageCacheEvictionOfInflightEntry(t *testing.T) {
+	ctx := context.Background()
+	c := NewStageCache(WithStageCacheLimit(1))
+	cfg := TimingConfig{}
+	ps := fakeProgs(2)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		st, err := c.baseStats(ctx, ps[0], cfg, func() (Stats, error) {
+			close(started)
+			<-release
+			return Stats{Retired: 10}, nil
+		})
+		if err != nil || st.Retired != 10 {
+			t.Errorf("evicted in-flight compute: (%+v, %v), want Retired 10 for its owner", st, err)
+		}
+	}()
+	<-started
+
+	// p1 inserts while p0's compute is blocked: the bound evicts p0's
+	// in-flight entry (the LRU tail).
+	st1, err := c.baseStats(ctx, ps[1], cfg, func() (Stats, error) {
+		return Stats{Retired: 20}, nil
+	})
+	if err != nil || st1.Retired != 20 {
+		t.Fatalf("p1 compute: (%+v, %v), want Retired 20", st1, err)
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d after evicting the in-flight entry, want 1", ev)
+	}
+
+	// p0 was unmapped mid-flight, so a fresh request must start its own
+	// computation instead of waiting on the evicted (still blocked) flight.
+	recomputed := make(chan Stats, 1)
+	go func() {
+		st, err := c.baseStats(ctx, ps[0], cfg, func() (Stats, error) {
+			return Stats{Retired: 11}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		recomputed <- st
+	}()
+	select {
+	case st := <-recomputed:
+		if st.Retired != 11 {
+			t.Fatalf("re-request after eviction got Retired %d, want a fresh 11", st.Retired)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-request coalesced onto the evicted in-flight entry and blocked")
+	}
+
+	close(release)
+	<-firstDone
+
+	// The fresh p0 entry evicted p1 in turn; the evicted flight's late
+	// completion must not resurrect its entry or disturb the counters.
+	if base, _ := c.Len(); base != 1 {
+		t.Fatalf("cache holds %d base entries, want 1", base)
+	}
+	st := c.Stats()
+	if st.BaseRuns != 3 || st.BaseHits != 0 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 3 runs / 0 hits / 2 evictions", st)
+	}
+	got, err := c.baseStats(ctx, ps[0], cfg, func() (Stats, error) {
+		return Stats{Retired: 99}, nil
+	})
+	if err != nil || got.Retired != 11 {
+		t.Fatalf("p0 after settle: (%+v, %v), want the cached Retired 11", got, err)
+	}
+	if hits := c.Stats().BaseHits; hits != 1 {
+		t.Fatalf("hits = %d after cached re-read, want 1", hits)
 	}
 }
 

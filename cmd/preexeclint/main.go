@@ -1,0 +1,113 @@
+// Command preexeclint runs the repo's custom analyzer suite (internal/lint)
+// over the module: determinism, ctxloop, lockscope, errwrap, and configzero.
+// It is the static half of the invariant enforcement whose dynamic half is
+// the golden/race/fuzz test layer, and runs in CI alongside go vet.
+//
+// Usage:
+//
+//	go run ./cmd/preexeclint ./...          # analyze the whole module
+//	go run ./cmd/preexeclint -list          # describe the analyzers
+//
+// Findings print as file:line:col: message (analyzer); the exit status is 1
+// if any finding survives suppression filtering. A finding is suppressed by
+// a //lint:ignore <analyzer> <justification> directive on the same line or
+// the line above; the justification is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"preexec/internal/lint"
+	"preexec/internal/lint/analysis"
+	"preexec/internal/lint/load"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, fset, err := load.Module(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "preexeclint:", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		sink := func(d analysis.Diagnostic) { diags = append(diags, d) }
+		for _, a := range lint.Analyzers() {
+			files := pkg.Files
+			if a == lint.Determinism {
+				scoped, ok := deterministicFiles(fset, pkg)
+				if !ok {
+					continue
+				}
+				files = scoped
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    sink,
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "preexeclint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				os.Exit(2)
+			}
+		}
+		sups := lint.Suppressions(fset, pkg.Files)
+		for _, d := range lint.Filter(fset, sups, diags) {
+			pos := fset.Position(d.Pos)
+			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Category)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "preexeclint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// deterministicFiles returns the subset of pkg's files the determinism
+// analyzer applies to, per lint.DeterministicScope, and whether the package
+// is in scope at all. A nil file list in the scope means the whole package.
+func deterministicFiles(fset *token.FileSet, pkg *load.Package) ([]*ast.File, bool) {
+	names, ok := lint.DeterministicScope[pkg.Path]
+	if !ok {
+		return nil, false
+	}
+	if names == nil {
+		return pkg.Files, true
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*ast.File
+	for _, f := range pkg.Files {
+		if want[filepath.Base(fset.Position(f.Pos()).Filename)] {
+			out = append(out, f)
+		}
+	}
+	return out, len(out) > 0
+}

@@ -170,6 +170,104 @@ func TestFlightGroupPanicUnwedgesKey(t *testing.T) {
 	}
 }
 
+// TestFlightGroupComputeHoldsNoLock observes dynamically what the lockscope
+// analyzer asserts statically: Do holds the group mutex only around map
+// bookkeeping, never across compute. If compute ran under the lock, a Do for
+// a different key would block behind it.
+func TestFlightGroupComputeHoldsNoLock(t *testing.T) {
+	ctx := context.Background()
+	var g FlightGroup[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		v, _, err := g.Do(ctx, "slow", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		if err != nil || v != 1 {
+			t.Errorf("slow flight: (%d, %v), want (1, nil)", v, err)
+		}
+	}()
+	<-started
+
+	fastDone := make(chan struct{})
+	go func() {
+		defer close(fastDone)
+		v, shared, err := g.Do(ctx, "fast", func() (int, error) { return 2, nil })
+		if err != nil || v != 2 || shared {
+			t.Errorf("fast flight: (%d, %v, %v), want a fresh (2, nil)", v, shared, err)
+		}
+	}()
+	select {
+	case <-fastDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do(fast) blocked behind Do(slow)'s compute: the group lock is held across compute")
+	}
+	close(release)
+	<-ownerDone
+}
+
+// TestFlightGroupPanicReleasesLock: the panic-cleanup path re-acquires the
+// group mutex to drop the entry; it must release it again even though the
+// panic is still unwinding, keeping other keys serviceable and letting
+// waiters on the panicked key retry. This is the panic-safety half of the
+// blocking-while-locked bug class the lockscope analyzer encodes.
+func TestFlightGroupPanicReleasesLock(t *testing.T) {
+	ctx := context.Background()
+	var g FlightGroup[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		defer func() {
+			if recover() == nil {
+				t.Error("compute's panic did not propagate to the owner")
+			}
+		}()
+		g.Do(ctx, "k", func() (int, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, _, err := g.Do(ctx, "k", func() (int, error) { return 99, nil })
+		if err != nil || v != 99 {
+			t.Errorf("waiter after panicked flight: (%d, %v), want (99, nil)", v, err)
+		}
+	}()
+	waitFor(t, "the waiter to block", func() bool { return g.Waiting() == 1 })
+	close(release)
+	<-ownerDone
+
+	// The panic cleanup ran: the mutex must be free for unrelated keys
+	// immediately, even while the panicked key's waiter is still retrying.
+	otherDone := make(chan struct{})
+	go func() {
+		defer close(otherDone)
+		v, _, err := g.Do(ctx, "other", func() (int, error) { return 3, nil })
+		if err != nil || v != 3 {
+			t.Errorf("other key after panic: (%d, %v), want (3, nil)", v, err)
+		}
+	}()
+	select {
+	case <-otherDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do(other) blocked after a panicked flight: cleanup leaked the group lock")
+	}
+	<-waiterDone
+}
+
 // TestFlightGroupWaiterCancellation: a waiter whose context ends stops
 // waiting with its own context error while the flight completes for its
 // owner.

@@ -102,6 +102,7 @@ func (e *progressEmitter) emit(index int, name string, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.done++
+	//lint:ignore lockscope the emitter exists to serialize progress callbacks; done counting and delivery must be atomic, and fn never re-enters the emitter.
 	e.fn(preexec.SuiteEvent{Index: index, Total: e.total, Done: e.done, Name: name, Err: err})
 }
 

@@ -1,0 +1,67 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough structure — an Analyzer with a
+// Run function over a type-checked Pass — for the preexeclint suite to be
+// written in the standard modular-checker shape. The container this repo
+// builds in has no module proxy access, so vendoring x/tools is not an
+// option; the API mirrors the upstream names (Analyzer, Pass, Diagnostic,
+// Pass.Reportf) so the analyzers would port to the real framework by
+// changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore <name> suppression directives. It must look like a Go
+	// identifier.
+	Name string
+	// Doc is the one-paragraph description printed by preexeclint -list:
+	// the invariant the analyzer enforces and why the repo cares.
+	Doc string
+	// Run executes the check over one package and reports findings through
+	// pass.Report. The returned value is unused (kept for upstream
+	// signature compatibility).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass is one (analyzer, package) execution: the parsed files, the
+// type-checker's results, and the diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each finding. Drivers install their own sink
+	// (collecting, filtering suppressed lines, formatting).
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string // the reporting analyzer's name
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Category: p.Analyzer.Name})
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn for
+// each node; fn returning false prunes the subtree (the ast.Inspect
+// contract).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

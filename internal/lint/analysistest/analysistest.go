@@ -1,0 +1,265 @@
+// Package analysistest runs preexeclint analyzers over seeded source trees
+// and checks their findings against expectations written in the source — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the stdlib-only framework because this repo's build environment has no
+// module proxy access.
+//
+// Test packages live under <testdata>/src/<name>. Expected findings are
+// trailing comments on the flagged line:
+//
+//	return err == ErrGone // want `errors.Is`
+//
+// Each backquoted chunk is a regular expression that must match the message
+// of one finding reported on that line; every finding must be matched by a
+// want and every want must be consumed. Suppression directives
+// (//lint:ignore) are honored, so testdata can also exercise them.
+//
+// Imports inside a test package resolve first against sibling directories
+// under <testdata>/src (letting testdata fake the repo's own packages, e.g.
+// a stand-in "preexec"), then against the standard library via the go
+// command's export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"preexec/internal/lint"
+	"preexec/internal/lint/analysis"
+	"preexec/internal/lint/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, mirroring the upstream helper.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run applies a to each named package under testdata/src and reports any
+// mismatch between its (suppression-filtered) findings and the packages'
+// want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, name)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgName string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	imp := &multiImporter{local: map[string]*types.Package{}}
+
+	// Resolve the import closure: sibling testdata packages load from
+	// source, everything else comes from go-command export data.
+	stdlib, localDeps, err := importClosure(src, pkgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stdlib) > 0 {
+		idx, err := load.Exports(".", stdlib...)
+		if err != nil {
+			t.Fatalf("resolving stdlib exports: %v", err)
+		}
+		imp.base = importer.ForCompiler(fset, "gc", idx.Lookup)
+	}
+	for _, dep := range localDeps {
+		pkg, err := checkDir(fset, src, dep, imp)
+		if err != nil {
+			t.Fatalf("loading testdata dependency %s: %v", dep, err)
+		}
+		imp.local[dep] = pkg.Types
+	}
+
+	target, err := checkDir(fset, src, pkgName, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     target.Files,
+		Pkg:       target.Types,
+		TypesInfo: target.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	diags = lint.Filter(fset, lint.Suppressions(fset, target.Files), diags)
+
+	compare(t, fset, target.Files, diags)
+}
+
+// want is one expectation: a regex that must match a finding on its line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("// want((?: `[^`]*`)+)")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, chunk := range strings.Split(m[1], "`") {
+					chunk = strings.TrimSpace(chunk)
+					if chunk == "" {
+						continue
+					}
+					re, err := regexp.Compile(chunk)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, chunk, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s (%s)", pos, d.Message, d.Category)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// importClosure parses import clauses transitively through testdata-local
+// packages, partitioning the closure into stdlib paths and local sibling
+// packages (returned in dependency-safe order: dependencies first).
+func importClosure(src, root string) (stdlib, localDeps []string, err error) {
+	seenStd := map[string]bool{}
+	seenLocal := map[string]bool{}
+	var visit func(name string) error
+	visit = func(name string) error {
+		dir := filepath.Join(src, name)
+		names, err := goFiles(dir)
+		if err != nil {
+			return err
+		}
+		throwaway := token.NewFileSet()
+		for _, fileName := range names {
+			f, err := parser.ParseFile(throwaway, filepath.Join(dir, fileName), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if info, statErr := os.Stat(filepath.Join(src, path)); statErr == nil && info.IsDir() {
+					if !seenLocal[path] {
+						seenLocal[path] = true
+						if err := visit(path); err != nil {
+							return err
+						}
+						localDeps = append(localDeps, path)
+					}
+				} else {
+					seenStd[path] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := visit(root); err != nil {
+		return nil, nil, err
+	}
+	for p := range seenStd {
+		stdlib = append(stdlib, p)
+	}
+	sort.Strings(stdlib)
+	return stdlib, localDeps, nil
+}
+
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return names, nil
+}
+
+func checkDir(fset *token.FileSet, src, name string, imp types.Importer) (*load.Package, error) {
+	dir := filepath.Join(src, name)
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	return load.Check(fset, name, dir, names, imp)
+}
+
+// multiImporter resolves testdata-local packages from source and delegates
+// the rest to export data.
+type multiImporter struct {
+	base  types.Importer
+	local map[string]*types.Package
+}
+
+func (m *multiImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	if m.base == nil {
+		return nil, fmt.Errorf("no importer for %q (testdata may only import stdlib and sibling testdata packages)", path)
+	}
+	return m.base.Import(path)
+}

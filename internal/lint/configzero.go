@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+
+	"preexec/internal/lint/analysis"
+)
+
+// ConfigZero guards the documented zero-Config pitfall: outside the preexec
+// package itself, a preexec.Config must start from DefaultConfig() — the
+// zero value silently disables selection optimization and merging, which is
+// not the paper's base configuration. Composite literals, zero-value var
+// declarations, and new(preexec.Config) are all flagged; SelectionConfig
+// literals are additionally checked for leaving Optimize/Merge implicitly
+// false.
+var ConfigZero = &analysis.Analyzer{
+	Name: "configzero",
+	Doc: "flags preexec.Config composite literals and zero-value Config uses " +
+		"outside the package that bypass preexec.DefaultConfig()",
+	Run: runConfigZero,
+}
+
+// configPkgPath is the import path of the package defining Config. The
+// analyzer is a no-op inside that package: the implementation constructs
+// configs legitimately.
+const configPkgPath = "preexec"
+
+func runConfigZero(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == configPkgPath {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	pass.Inspect(func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			t := info.Types[e].Type
+			if t == nil {
+				return true
+			}
+			if namedFrom(t, configPkgPath, "Config") {
+				pass.Reportf(e.Pos(),
+					"preexec.Config literal bypasses DefaultConfig(); the zero Config disables Optimize/Merge — start from preexec.DefaultConfig() and override fields")
+			}
+			if namedFrom(t, configPkgPath, "SelectionConfig") && !selectionCovers(e, "Optimize", "Merge") {
+				pass.Reportf(e.Pos(),
+					"preexec.SelectionConfig literal leaves Optimize/Merge at zero (off), which is not the paper's base flow; set both explicitly or start from DefaultSelection()")
+			}
+		case *ast.ValueSpec:
+			// `var cfg preexec.Config` with no initializer is the zero value.
+			if e.Type == nil || len(e.Values) > 0 {
+				return true
+			}
+			if t := info.Types[e.Type].Type; t != nil && namedFrom(t, configPkgPath, "Config") {
+				pass.Reportf(e.Pos(),
+					"zero-value preexec.Config declaration; initialize from preexec.DefaultConfig() instead")
+			}
+		case *ast.CallExpr:
+			// new(preexec.Config) yields a pointer to the zero value.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && isBuiltin(info, id, "new") && len(e.Args) == 1 {
+				if t := info.Types[e.Args[0]].Type; t != nil && namedFrom(t, configPkgPath, "Config") {
+					pass.Reportf(e.Pos(),
+						"new(preexec.Config) yields the zero Config; use preexec.DefaultConfig() and take its address")
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// selectionCovers reports whether the composite literal explicitly sets all
+// the named fields — either by key or by being a full positional literal.
+func selectionCovers(lit *ast.CompositeLit, fields ...string) bool {
+	if len(lit.Elts) == 0 {
+		return false
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+		// Positional literals must name every field to compile, so all
+		// fields are covered.
+		return true
+	}
+	set := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+	}
+	for _, f := range fields {
+		if !set[f] {
+			return false
+		}
+	}
+	return true
+}

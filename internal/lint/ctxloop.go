@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"preexec/internal/lint/analysis"
+)
+
+// CtxLoop enforces the cancellation invariant from PR 1: loops that can run
+// unboundedly — indefinite `for` loops, channel ranges, and loops in HTTP
+// handlers doing per-iteration work sized by the request — must observe the
+// surrounding context, either by referencing it (ctx.Err()/ctx.Done()/a
+// derived done channel) or by passing it to the work they call. Bounded
+// local loops in functions without a context are out of scope: the analyzer
+// only fires where a context is available and ignored.
+var CtxLoop = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "flags indefinite loops, channel ranges, and HTTP-handler work loops " +
+		"that never consult the available context.Context",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		walkFuncs(f, func(ft *ast.FuncType, body *ast.BlockStmt) {
+			checkFuncLoops(pass, ft, body)
+		})
+	}
+	return nil, nil
+}
+
+// checkFuncLoops analyzes the loops directly inside one function body.
+// Nested function literals are handled as their own functions by walkFuncs.
+func checkFuncLoops(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ctxObjs := map[types.Object]bool{}
+	for _, field := range ft.Params.List {
+		t := info.Types[field.Type].Type
+		if t != nil && namedFrom(t, "context", "Context") {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					ctxObjs[obj] = true
+				}
+			}
+		}
+	}
+	handlerReq := httpRequestParam(info, ft)
+
+	// Fixpoint over derived objects: done channels, errs, sub-contexts, and
+	// ctx := r.Context() all count as consulting the context.
+	for changed := true; changed; {
+		changed = false
+		inspectShallow(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if !derivesFromCtx(info, call, ctxObjs, handlerReq) {
+					continue
+				}
+				for _, lhs := range as.Lhs {
+					if len(as.Rhs) == len(as.Lhs) && i != indexOf(as.Lhs, lhs) {
+						continue
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && !ctxObjs[obj] {
+						ctxObjs[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	hasCtx := len(ctxObjs) > 0 || handlerReq != nil
+	if !hasCtx {
+		return
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if loop.Cond == nil && !loopConsultsCtx(info, loop, ctxObjs, handlerReq) {
+				pass.Reportf(loop.Pos(),
+					"indefinite loop never checks the context; poll ctx.Err() or select on ctx.Done() so cancellation can land")
+			}
+			if handlerReq != nil && loop.Cond != nil &&
+				!loopConsultsCtx(info, loop, ctxObjs, handlerReq) && loopDoesWork(info, loop.Body) {
+				pass.Reportf(loop.Pos(),
+					"HTTP-handler loop does per-iteration work without consulting the request context; check ctx.Err() so disconnected clients stop paying")
+			}
+		case *ast.RangeStmt:
+			t := info.Types[loop.X].Type
+			if t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if !loopConsultsCtx(info, loop, ctxObjs, handlerReq) {
+						pass.Reportf(loop.Pos(),
+							"channel range never checks the context; a stalled producer wedges this loop past cancellation")
+					}
+					return true
+				}
+			}
+			if handlerReq != nil && !loopConsultsCtx(info, loop, ctxObjs, handlerReq) && loopDoesWork(info, loop.Body) {
+				pass.Reportf(loop.Pos(),
+					"HTTP-handler loop does per-iteration work without consulting the request context; check ctx.Err() so disconnected clients stop paying")
+			}
+		}
+		return true
+	})
+}
+
+// httpRequestParam returns the *http.Request parameter object if ft is an
+// http.HandlerFunc-shaped signature, else nil.
+func httpRequestParam(info *types.Info, ft *ast.FuncType) types.Object {
+	for _, field := range ft.Params.List {
+		t := info.Types[field.Type].Type
+		if t == nil || !namedFrom(t, "net/http", "Request") {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// derivesFromCtx reports whether call yields context-derived state: a method
+// on a known ctx object (Done, Err, Deadline), r.Context(), or
+// context.With*(ctx, ...).
+func derivesFromCtx(info *types.Info, call *ast.CallExpr, ctxObjs map[types.Object]bool, handlerReq types.Object) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv := rootObject(info, sel.X)
+		if recv != nil && ctxObjs[recv] {
+			return true
+		}
+		if recv != nil && recv == handlerReq && sel.Sel.Name == "Context" {
+			return true
+		}
+	}
+	if f := funcObj(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "context" {
+		for _, arg := range call.Args {
+			if obj := rootObject(info, arg); obj != nil && ctxObjs[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopConsultsCtx reports whether the loop (or anything under it, closures
+// included) references a context-derived object or calls r.Context().
+func loopConsultsCtx(info *types.Info, loop ast.Node, ctxObjs map[types.Object]bool, handlerReq types.Object) bool {
+	if usesObject(info, loop, ctxObjs) {
+		return true
+	}
+	if handlerReq == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Context" && rootObject(info, sel.X) == handlerReq {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// loopDoesWork reports whether the loop body calls a declared non-trivial
+// function — the signal that each iteration costs real work rather than
+// local assembly. Pure formatting/conversion packages don't count.
+func loopDoesWork(info *types.Info, body *ast.BlockStmt) bool {
+	trivial := map[string]bool{
+		"fmt": true, "errors": true, "strconv": true, "strings": true,
+		"sort": true, "bytes": true, "unicode/utf8": true, "math": true,
+	}
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObj(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if !trivial[f.Pkg().Path()] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func indexOf(exprs []ast.Expr, e ast.Expr) int {
+	for i, x := range exprs {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}

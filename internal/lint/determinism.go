@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"preexec/internal/lint/analysis"
+)
+
+// Determinism enforces bit-for-bit reproducibility in the packages whose
+// output the golden tests pin: no wall-clock reads, no process-seeded
+// randomness, and no map iteration whose visit order can leak into output or
+// accumulated state. Ranging over a map to collect keys or values is fine
+// when the collection is sorted afterwards in the same function — the
+// repo-wide collect-then-sort idiom — so that pattern is exempted.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags wall-clock reads, global randomness, and order-dependent map " +
+		"iteration in packages whose output must be bit-identical across runs",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(info, call, "time", "Now"):
+				pass.Reportf(call.Pos(),
+					"time.Now in a deterministic package; take the timestamp as a parameter so replays stay bit-identical")
+			case isGlobalRand(info, call):
+				pass.Reportf(call.Pos(),
+					"global math/rand is process-seeded; draw from an explicitly seeded *rand.Rand so runs reproduce")
+			}
+			return true
+		})
+		walkFuncs(f, func(_ *ast.FuncType, body *ast.BlockStmt) {
+			checkMapRanges(pass, body)
+		})
+	}
+	return nil, nil
+}
+
+// isGlobalRand reports a call to a top-level math/rand or math/rand/v2
+// function (the shared, process-seeded source). Methods on a *rand.Rand are
+// fine: those carry their own seed.
+func isGlobalRand(info *types.Info, call *ast.CallExpr) bool {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	p := f.Pkg().Path()
+	return (p == "math/rand" || p == "math/rand/v2") && f.Name() != "New" && f.Name() != "NewSource" && f.Name() != "NewPCG" && f.Name() != "NewChaCha8"
+}
+
+// checkMapRanges scans one function body (not nested literals — walkFuncs
+// visits those separately) for map-range statements whose bodies leak
+// iteration order.
+func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	inspectShallow(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.Types[rng.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportOrderLeaks(pass, body, rng)
+		return true
+	})
+}
+
+// reportOrderLeaks flags statements inside a map-range body that make the
+// visit order observable: writing output, sending on channels, appending to
+// a slice that is never sorted afterwards, or accumulating floats (whose
+// addition is not associative, so per-order sums differ in the low bits).
+func reportOrderLeaks(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	// appended maps each slice object appended to inside the loop to the
+	// position of the first such append.
+	appended := map[types.Object]ast.Node{}
+	inspectShallow(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(stmt.Pos(),
+				"channel send inside map iteration publishes values in map order; iterate a sorted key slice instead")
+		case *ast.CallExpr:
+			if writesOutput(info, stmt) {
+				pass.Reportf(stmt.Pos(),
+					"output written inside map iteration follows map order; iterate a sorted key slice instead")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(stmt.Lhs) <= i {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(info, id, "append") {
+					// Builtin append: record the destination's root object.
+					if obj := rootObject(info, stmt.Lhs[i]); obj != nil {
+						if _, seen := appended[obj]; !seen {
+							appended[obj] = stmt
+						}
+					}
+				}
+			}
+			if stmt.Tok.IsOperator() && len(stmt.Lhs) == 1 {
+				switch stmt.Tok.String() {
+				case "+=", "-=", "*=", "/=":
+					if t := info.Types[stmt.Lhs[0]].Type; t != nil {
+						if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+							pass.Reportf(stmt.Pos(),
+								"floating-point accumulation inside map iteration is order-sensitive in the low bits; accumulate over sorted keys")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, at := range appended {
+		if !sortedAfter(info, fnBody, rng, obj) {
+			pass.Reportf(at.Pos(),
+				"append to %s inside map iteration fixes map order into the slice; sort it afterwards or iterate sorted keys", obj.Name())
+		}
+	}
+}
+
+// writesOutput reports calls that emit bytes: fmt print/fprint family and
+// Write*-style methods on builders, buffers, and writers.
+func writesOutput(info *types.Info, call *ast.CallExpr) bool {
+	if f := funcObj(info, call); f != nil {
+		if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			switch f.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+		}
+		if f.Type().(*types.Signature).Recv() != nil {
+			switch f.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootObject resolves expr to the object of its leftmost identifier:
+// x → x, x.f → x, x[i] → x.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* call somewhere in
+// fnBody after the range statement ends — the collect-then-sort exemption.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	inspectShallow(fnBody, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= rng.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		f := funcObj(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if rootObject(info, call.Args[0]) == obj {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"preexec/internal/lint/analysis"
+)
+
+// ErrWrap enforces sentinel-error hygiene: package-level error values
+// (ErrUnknownWorkload, ErrJobNotRun, io.EOF, ...) travel through fmt.Errorf
+// chains wrapped with %w, are matched with errors.Is, and are never compared
+// with == / != or by string content — a wrapped sentinel fails all of those
+// silently.
+var ErrWrap = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "flags == / != / switch / string comparison against sentinel errors " +
+		"and fmt.Errorf calls that swallow a sentinel without %w",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	pass.Inspect(func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			checkErrCompare(pass, info, e)
+		case *ast.SwitchStmt:
+			checkErrSwitch(pass, info, e)
+		case *ast.CallExpr:
+			checkErrorfWrap(pass, info, e)
+			checkStringMatch(pass, info, e)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// sentinelObj returns the package-level error-typed variable behind expr,
+// or nil. Matches the Err*/EOF naming convention so ordinary error-valued
+// globals used as registers aren't swept in.
+func sentinelObj(info *types.Info, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		if sel, isSel := ast.Unparen(expr).(*ast.SelectorExpr); isSel {
+			id = sel.Sel
+		} else {
+			return nil
+		}
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorIface) {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") && v.Name() != "EOF" {
+		return nil
+	}
+	return v
+}
+
+func checkErrCompare(pass *analysis.Pass, info *types.Info, e *ast.BinaryExpr) {
+	if op := e.Op.String(); op != "==" && op != "!=" {
+		return
+	}
+	for _, side := range []ast.Expr{e.X, e.Y} {
+		if s := sentinelObj(info, side); s != nil {
+			pass.Reportf(e.Pos(),
+				"comparison with %s uses ==/!=; a wrapped %s never compares equal — use errors.Is", s.Name(), s.Name())
+			return
+		}
+	}
+	// err.Error() == "..." style string matching.
+	for _, side := range []ast.Expr{e.X, e.Y} {
+		if isErrorStringCall(info, side) {
+			pass.Reportf(e.Pos(),
+				"matching errors by Error() string is brittle across wrapping; use errors.Is or errors.As")
+			return
+		}
+	}
+}
+
+func checkErrSwitch(pass *analysis.Pass, info *types.Info, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := info.Types[sw.Tag].Type
+	if t == nil || !types.Implements(t, errorIface) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if s := sentinelObj(info, expr); s != nil {
+				pass.Reportf(expr.Pos(),
+					"switch case compares the error to %s by identity; a wrapped %s falls through — use errors.Is chains", s.Name(), s.Name())
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose arguments include a sentinel
+// but whose format verb list has no %w: callers lose errors.Is matching.
+func checkErrorfWrap(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	if !isPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv := info.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if s := sentinelObj(info, arg); s != nil {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats %s without %%w, so errors.Is(err, %s) stops matching; wrap it", s.Name(), s.Name())
+			return
+		}
+	}
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/HasSuffix/EqualFold over
+// an err.Error() operand.
+func checkStringMatch(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "strings" {
+		return
+	}
+	switch f.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorStringCall(info, arg) {
+			pass.Reportf(call.Pos(),
+				"matching errors via strings.%s(err.Error(), ...) is brittle across wrapping; use errors.Is or errors.As", f.Name())
+			return
+		}
+	}
+}
+
+// isErrorStringCall reports whether expr is a call of the Error() string
+// method on an error value.
+func isErrorStringCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := info.Types[sel.X].Type
+	return t != nil && types.Implements(t, errorIface)
+}

@@ -1,0 +1,179 @@
+// Package load type-checks Go packages for the preexeclint analyzers
+// without golang.org/x/tools (unavailable in this repo's offline build
+// environment). It shells out to the go command for package and export-data
+// discovery — `go list -export` compiles each package's dependencies into
+// the build cache and reports the export file per import path — and feeds
+// those files to the standard library's gc importer, which is exactly the
+// mechanism x/tools' go/packages uses underneath.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked, analyzable package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportIndex maps import paths to gc export-data files, for use as a
+// go/importer lookup source.
+type ExportIndex map[string]string
+
+// Lookup implements the importer.Lookup contract over the index.
+func (x ExportIndex) Lookup(path string) (io.ReadCloser, error) {
+	file, ok := x[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Exports builds an export index for patterns (and all their dependencies),
+// resolving them with the go command from dir. Use pattern "std"-style
+// stdlib paths or module-relative ./... patterns.
+func Exports(dir string, patterns ...string) (ExportIndex, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(ExportIndex, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+	}
+	return idx, nil
+}
+
+// Check parses and type-checks one package's files against the importer.
+// The caller supplies the shared FileSet so positions stay comparable
+// across packages.
+func Check(fset *token.FileSet, path, dir string, fileNames []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(fileNames))
+	for _, name := range fileNames {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", full, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Module loads every in-module package matching patterns (e.g. "./...")
+// from the module rooted at (or containing) dir, type-checked and ready for
+// analysis. Standard-library dependencies are consumed as export data, so
+// only the analyzed packages themselves are parsed. Packages are returned
+// in import-path order.
+func Module(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := make(ExportIndex, len(pkgs))
+	var targets []listedPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+		// -deps includes the stdlib closure; analyze only the module's own
+		// packages (commands included), which `go list` marks non-Standard.
+		if !p.Standard && p.Module != nil && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", idx.Lookup)
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		pkg, err := Check(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, fset, nil
+}

@@ -1,0 +1,49 @@
+// Package configzero seeds positive and negative cases for the configzero
+// analyzer: Config composite literals, zero-value declarations, and
+// new(Config) outside the preexec package are flagged; DefaultConfig-based
+// construction and fully-specified SelectionConfig literals are not.
+package configzero
+
+import "preexec"
+
+func Literal() preexec.Config {
+	return preexec.Config{} // want `DefaultConfig`
+}
+
+func LiteralWithFields() preexec.Config {
+	return preexec.Config{MaxThreads: 4} // want `DefaultConfig`
+}
+
+func FromDefault() preexec.Config {
+	cfg := preexec.DefaultConfig()
+	cfg.MaxThreads = 4
+	return cfg // override-on-default; not flagged
+}
+
+func ZeroVar() preexec.Config {
+	var cfg preexec.Config // want `zero-value`
+	return cfg
+}
+
+func NewConfig() *preexec.Config {
+	return new(preexec.Config) // want `zero Config`
+}
+
+func AddrOfDefault() *preexec.Config {
+	cfg := preexec.DefaultConfig()
+	return &cfg // not flagged
+}
+
+func SelPartial() preexec.SelectionConfig {
+	return preexec.SelectionConfig{MaxLen: 8} // want `Optimize/Merge`
+}
+
+func SelExplicit() preexec.SelectionConfig {
+	return preexec.SelectionConfig{MaxLen: 8, Optimize: true, Merge: false} // both stated; not flagged
+}
+
+func SelDefault() preexec.SelectionConfig {
+	sel := preexec.DefaultSelection()
+	sel.MaxLen = 8
+	return sel // not flagged
+}

@@ -1,0 +1,117 @@
+// Package ctxloop seeds positive and negative cases for the ctxloop
+// analyzer: indefinite loops, channel ranges, and HTTP-handler work loops
+// must consult an available context; polled, derived-channel, and
+// ctx-passing forms are accepted, and functions with no context in reach
+// are out of scope.
+package ctxloop
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+func step() {}
+
+func expensive(i int) int { return i * i }
+
+func SpinNoCheck(ctx context.Context) {
+	for { // want `indefinite loop`
+		step()
+	}
+}
+
+func SpinPolled(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+func SpinDerivedDone(ctx context.Context) {
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		step()
+	}
+}
+
+func SpinPassesCtx(ctx context.Context, eval func(context.Context) error) {
+	for {
+		if eval(ctx) != nil {
+			return
+		}
+	}
+}
+
+func NoCtxInScope(quit chan bool) {
+	for { // no context is available here; not flagged
+		select {
+		case <-quit:
+			return
+		default:
+		}
+		step()
+	}
+}
+
+func DrainNoCheck(ctx context.Context, ch chan int) int {
+	n := 0
+	for v := range ch { // want `channel range`
+		n += v
+	}
+	return n
+}
+
+func DrainPolled(ctx context.Context, ch chan int) int {
+	n := 0
+	for v := range ch {
+		if ctx.Err() != nil {
+			break
+		}
+		n += v
+	}
+	return n
+}
+
+func HandleNoCheck(w http.ResponseWriter, r *http.Request) {
+	items := make([]int, 1000)
+	for i := range items { // want `request context`
+		items[i] = expensive(i)
+	}
+}
+
+func HandleChecked(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	items := make([]int, 1000)
+	for i := range items {
+		if ctx.Err() != nil {
+			return
+		}
+		items[i] = expensive(i)
+	}
+}
+
+func HandleInlineCtx(w http.ResponseWriter, r *http.Request) {
+	items := make([]int, 1000)
+	for i := range items {
+		if r.Context().Err() != nil {
+			return
+		}
+		items[i] = expensive(i)
+	}
+}
+
+func HandleCheapLoop(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		sb.WriteString(strconv.Itoa(i)) // constant-bounded formatting; not flagged
+	}
+}

@@ -1,0 +1,89 @@
+// Package determinism seeds positive and negative cases for the
+// determinism analyzer: wall-clock reads, global randomness, and
+// order-leaking map iteration are flagged; seeded sources and the
+// collect-then-sort idiom are not.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().Unix() // want `time.Now`
+}
+
+func Jitter() int {
+	return rand.Int() // want `process-seeded`
+}
+
+func SeededOK(r *rand.Rand) int {
+	return r.Int() // a seeded source reproduces; not flagged
+}
+
+func NewSeededOK() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // constructing a source is fine
+}
+
+func PrintMap(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		fmt.Fprintf(sb, "%s\n", k) // want `map order`
+	}
+}
+
+func WriteMap(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `map order`
+	}
+}
+
+func SendKeys(m map[string]bool, ch chan string) {
+	for k := range m {
+		ch <- k // want `map order`
+	}
+}
+
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `fixes map order`
+	}
+	return keys
+}
+
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below; not flagged
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `order-sensitive`
+	}
+	return total
+}
+
+func SumInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition commutes exactly; not flagged
+	}
+	return n
+}
+
+func SliceRangeOK(vals []float64, sb *strings.Builder) float64 {
+	var total float64
+	for _, v := range vals {
+		total += v // slice order is deterministic; not flagged
+		fmt.Fprintf(sb, "%g\n", v)
+	}
+	return total
+}

@@ -1,0 +1,74 @@
+// Package errwrap seeds positive and negative cases for the errwrap
+// analyzer: identity comparison, switch cases, unwrapped fmt.Errorf, and
+// string matching against sentinel errors are flagged; errors.Is/As and nil
+// checks are not.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var (
+	ErrMissing = errors.New("missing")
+	ErrBusy    = errors.New("busy")
+)
+
+func CompareEq(err error) bool {
+	return err == ErrMissing // want `errors.Is`
+}
+
+func CompareNeq(err error) bool {
+	return err != ErrBusy // want `errors.Is`
+}
+
+func CompareIs(err error) bool {
+	return errors.Is(err, ErrMissing) // the right way; not flagged
+}
+
+func NilCheck(err error) bool {
+	return err != nil // nil is not a sentinel; not flagged
+}
+
+func SwitchIdentity(err error) int {
+	switch err {
+	case ErrMissing: // want `errors.Is`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func SwitchIsChain(err error) int {
+	switch {
+	case errors.Is(err, ErrMissing): // tagless switch; not flagged
+		return 1
+	}
+	return 2
+}
+
+func WrapWithout() error {
+	return fmt.Errorf("lookup failed: %v", ErrMissing) // want `%w`
+}
+
+func WrapWith() error {
+	return fmt.Errorf("lookup failed: %w", ErrMissing) // wrapped; not flagged
+}
+
+func PlainErrorf(name string) error {
+	return fmt.Errorf("no workload %q", name) // no sentinel involved; not flagged
+}
+
+func StringContains(err error) bool {
+	return strings.Contains(err.Error(), "missing") // want `brittle`
+}
+
+func StringEq(err error) bool {
+	return err.Error() == "missing" // want `brittle`
+}
+
+func MessageForUser(err error) string {
+	return "failed: " + err.Error() // rendering, not matching; not flagged
+}

@@ -1,0 +1,25 @@
+// Package preexec is a minimal stand-in for the repository's root package,
+// present so configzero testdata can import the "preexec" path without
+// dragging the real module into the testdata type-check. Only the shapes
+// the analyzer inspects exist: Config, SelectionConfig, and their default
+// constructors.
+package preexec
+
+type SelectionConfig struct {
+	MaxLen   int
+	Optimize bool
+	Merge    bool
+}
+
+type Config struct {
+	MaxThreads int
+	Selection  SelectionConfig
+}
+
+func DefaultSelection() SelectionConfig {
+	return SelectionConfig{MaxLen: 16, Optimize: true, Merge: true}
+}
+
+func DefaultConfig() Config {
+	return Config{MaxThreads: 8, Selection: DefaultSelection()}
+}

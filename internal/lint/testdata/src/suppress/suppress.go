@@ -1,0 +1,19 @@
+// Package suppress exercises the //lint:ignore directive path end to end: a
+// justified directive silences the finding on the next line, while the same
+// code without a directive is still flagged. (The requirement that a bare
+// directive carry a justification is covered by a unit test on lint.Filter,
+// since a want-comment cannot share a line with the directive itself.)
+package suppress
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func Justified(err error) bool {
+	//lint:ignore errwrap this file exercises suppression; the comparison is the fixture, not a bug.
+	return err == ErrGone
+}
+
+func Control(err error) bool {
+	return err == ErrGone // want `errors.Is`
+}

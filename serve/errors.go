@@ -70,7 +70,7 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) err
 	if dec.More() {
 		return errors.New("request body: trailing data after JSON object")
 	}
-	if _, err := dec.Token(); err != io.EOF {
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
 		return errors.New("request body: trailing data after JSON object")
 	}
 	return nil
@@ -88,7 +88,7 @@ func decodeConfig(raw json.RawMessage) (preexec.Config, error) {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
-		return preexec.Config{}, err
+		return preexec.DefaultConfig(), err
 	}
 	return cfg, nil
 }

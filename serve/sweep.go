@@ -77,6 +77,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		points = append(points, preexec.ConfigPoint{Name: "base", Config: preexec.DefaultConfig()})
 	}
 	for i, pt := range req.Points {
+		if err := ctx.Err(); err != nil {
+			writeError(w, statusFor(err), "%v", err)
+			return
+		}
 		if pt.Name == "" {
 			writeError(w, http.StatusBadRequest, "points[%d].name: required", i)
 			return

@@ -200,6 +200,7 @@ func (s *Suite) Run(ctx context.Context, jobs []Job) ([]Report, []error, error) 
 			if err == nil {
 				ev.Report = &reports[i]
 			}
+			//lint:ignore lockscope Progress is documented as serialized; the mutex is what provides that contract, and the callback must not call back into the Suite.
 			s.Progress(ev)
 		}
 		mu.Unlock()

@@ -32,6 +32,7 @@ package synth
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -288,7 +289,7 @@ func SpecFromJSON(data []byte) (Spec, error) {
 	if dec.More() {
 		return Spec{}, fmt.Errorf("synth: spec: trailing data after JSON object")
 	}
-	if _, err := dec.Token(); err != nil && err != io.EOF {
+	if _, err := dec.Token(); err != nil && !errors.Is(err, io.EOF) {
 		return Spec{}, fmt.Errorf("synth: spec: %w", err)
 	}
 	return s, nil
