@@ -5,6 +5,7 @@
 // Usage:
 //
 //	preexecd [-addr host:port] [-workers N] [-cachelimit N]
+//	         [-backends host1:port,host2:port,...]
 //
 // Endpoints (see the README "Serving" section for request formats):
 //
@@ -12,7 +13,17 @@
 //	POST /v1/workloads   upload a .prx source or synth.Spec
 //	POST /v1/evaluate    one benchmark x one configuration
 //	POST /v1/sweep       grid evaluation (JSON/CSV, optional progress stream)
-//	GET  /v1/stats       cache / request / coalescing counters
+//	GET  /v1/stats       cache / request / coalescing / fleet counters
+//
+// With -backends the process runs as a sweep coordinator: /v1/sweep cells
+// are consistent-hashed across the listed backend preexecds, retried with
+// backoff on failure, failed over away from ejected backends, and merged in
+// deterministic grid order — byte-identical to a single-node sweep. All
+// other endpoints still evaluate locally, which is also the sweep's
+// graceful-degradation path when every backend is down. The fleet knobs
+// (-probe-interval, -retries, -eject-after, -attempt-timeout) tune the
+// health probe and per-cell retry policy; see the README "Distributed
+// sweeps" section.
 //
 // SIGINT and SIGTERM drain in-flight requests (and cancel their
 // simulations) before exiting.
@@ -26,9 +37,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"preexec/internal/fleet"
 	"preexec/serve"
 )
 
@@ -37,12 +50,39 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:8321", "listen address")
 		workers    = flag.Int("workers", 0, "server-wide simulation concurrency (0 = all cores)")
 		cachelimit = flag.Int("cachelimit", 0, "stage cache LRU bound, entries per stage (0 = unlimited)")
+
+		backends       = flag.String("backends", "", "comma-separated backend preexecd addresses; turns this process into a sweep coordinator")
+		probeInterval  = flag.Duration("probe-interval", 0, "backend health-probe interval (0 = default 2s, negative = disabled)")
+		retries        = flag.Int("retries", 0, "per-cell attempt budget across backends (0 = default)")
+		ejectAfter     = flag.Int("eject-after", 0, "consecutive failures before a backend is ejected (0 = default)")
+		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt deadline for one remote cell (0 = default 2m)")
 	)
 	flag.Parse()
 	log.SetPrefix("preexecd: ")
 	log.SetFlags(log.LstdFlags)
 
-	srv := serve.New(serve.WithWorkers(*workers), serve.WithCacheLimit(*cachelimit))
+	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithCacheLimit(*cachelimit)}
+	if *backends != "" {
+		var addrs []string
+		for _, a := range strings.Split(*backends, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		opts = append(opts,
+			serve.WithBackends(addrs...),
+			serve.WithFleetConfig(serve.FleetConfig{
+				ProbeInterval: *probeInterval,
+				Fleet: fleet.Config{
+					RetryBudget:    *retries,
+					EjectAfter:     *ejectAfter,
+					AttemptTimeout: *attemptTimeout,
+				},
+			}))
+		log.Printf("coordinator mode over %d backends: %s", len(addrs), strings.Join(addrs, ", "))
+	}
+	srv := serve.New(opts...)
+	defer srv.Close()
 	// Request contexts derive from baseCtx so shutdown can actually cancel
 	// in-flight simulations (http.Server.Shutdown alone only waits for
 	// connections to go idle — a long sweep would burn CPU until the

@@ -83,6 +83,32 @@ func DefaultConfig() Config {
 	return Config{Machine: DefaultMachine(), Selection: DefaultSelection()}
 }
 
+// Normalized returns the configuration with every zero field replaced by the
+// paper's base value — the same normalization every pipeline entry point
+// applies before running. Two configurations that normalize equal perform
+// identical stage work, so normalized configurations are the cross-process
+// identity the distributed sweep coordinator routes cells by: the fields of
+// Machine name a base timing run, and (WarmInsts, ProfileInsts, Scope,
+// MaxLen, RegionInsts) plus the profiled program name a profile, mirroring
+// the StageCache key structure.
+func (c Config) Normalized() Config {
+	n := c.core().WithDefaults()
+	c.Machine = MachineConfig{
+		Width:        n.Width,
+		MemLat:       n.MemLat,
+		WarmInsts:    n.WarmInsts,
+		MeasureInsts: n.MeasureInsts,
+	}
+	c.Selection.Scope = n.Scope
+	c.Selection.MaxLen = n.MaxLen
+	c.Selection.ProfileInsts = n.SelectInsts
+	c.Selection.MemLat = n.SelectMemLat
+	c.Selection.Width = n.SelectWidth
+	// Optimize, Merge, RegionInsts, ProfileOn, and the ablation switches
+	// have no zero-value rewriting; they pass through unchanged.
+	return c
+}
+
 // core flattens the decomposed configuration onto the internal/core
 // compatibility surface. Zero fields stay zero: core applies the same
 // defaults, keeping Engine results bit-for-bit identical to the legacy path.

@@ -1,0 +1,175 @@
+// Package chaos is the fault-injection harness for the distributed sweep
+// tests: an http.Handler proxy that wraps a backend and perturbs requests on
+// a deterministic schedule — kill the connection, return a 500, truncate the
+// response body mid-stream, or delay service. Faults are indexed by request
+// arrival order, so a test that serializes its requests (or uses a schedule
+// whose tail fault is order-insensitive, e.g. "kill everything after the
+// first") gets a reproducible failure pattern without wall-clock races.
+package chaos
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// None passes the request through untouched.
+	None Kind = iota
+	// Kill drops the connection without writing a valid response — the
+	// client sees a transport error, as if the backend process died.
+	Kill
+	// Error500 replaces the response with a 500 — a backend that is up but
+	// failing.
+	Error500
+	// Truncate writes the real headers (full Content-Length included) and
+	// the first half of the real body, then drops the connection — a
+	// garbled payload the client must reject as short, not trust.
+	Truncate
+	// Delay holds the request for Fault.Latency, then serves it normally —
+	// a slow backend that trips per-attempt timeouts without being down.
+	Delay
+)
+
+// String names the fault kind for test logs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Kill:
+		return "kill"
+	case Error500:
+		return "error500"
+	case Truncate:
+		return "truncate"
+	case Delay:
+		return "delay"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled perturbation.
+type Fault struct {
+	Kind Kind
+	// Latency is the hold time for Delay faults.
+	Latency time.Duration
+}
+
+// Schedule maps request arrival order to faults: request i suffers Plan[i],
+// and every request beyond the plan suffers Then. The zero Schedule passes
+// everything through.
+type Schedule struct {
+	Plan []Fault
+	Then Fault
+}
+
+func (s Schedule) at(i int) Fault {
+	if i < len(s.Plan) {
+		return s.Plan[i]
+	}
+	return s.Then
+}
+
+// Proxy wraps a backend handler with a fault schedule. It records every
+// fault it applies, in arrival order, for test assertions.
+type Proxy struct {
+	next http.Handler
+
+	mu      sync.Mutex
+	sched   Schedule
+	n       int
+	applied []Kind
+}
+
+// New wraps next with the given schedule.
+func New(next http.Handler, sched Schedule) *Proxy {
+	return &Proxy{next: next, sched: sched}
+}
+
+// SetSchedule replaces the schedule and restarts its request counter, so a
+// test can arm faults after a healthy warm-up phase.
+func (p *Proxy) SetSchedule(sched Schedule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sched = sched
+	p.n = 0
+}
+
+// Applied returns the faults applied so far, in request arrival order.
+func (p *Proxy) Applied() []Kind {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Kind, len(p.applied))
+	copy(out, p.applied)
+	return out
+}
+
+func (p *Proxy) take() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.sched.at(p.n)
+	p.n++
+	p.applied = append(p.applied, f.Kind)
+	return f
+}
+
+// ServeHTTP applies the next scheduled fault to the request.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f := p.take()
+	switch f.Kind {
+	case Kill:
+		// http.Server recovers this sentinel silently and closes the
+		// connection without completing the response.
+		panic(http.ErrAbortHandler)
+	case Error500:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte("chaos: injected backend failure\n"))
+		return
+	case Truncate:
+		rec := &recorder{header: make(http.Header), code: http.StatusOK}
+		p.next.ServeHTTP(rec, r)
+		//lint:ignore ctxloop copying a handful of response headers is O(headers) and cheaper than a context check; the expensive part (p.next) already honoured r.Context.
+		for k, vs := range rec.header {
+			w.Header()[k] = vs
+		}
+		// Announce the full length, deliver half, then drop the connection:
+		// the client's read must end in an unexpected-EOF, never a
+		// plausible-looking short document.
+		body := rec.body.Bytes()
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(rec.code)
+		_, _ = w.Write(body[:len(body)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	case Delay:
+		t := time.NewTimer(f.Latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+	}
+	p.next.ServeHTTP(w, r)
+}
+
+// recorder buffers a response so Truncate can rewrite its framing.
+type recorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(code int) {
+	r.code = code
+}
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }

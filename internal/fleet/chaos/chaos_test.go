@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// backend is a trivial upstream with a known body.
+func backend() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"cells":[{"bench":"x","point":"y"}],"cache":{}}`))
+	})
+}
+
+func TestScheduleIndexing(t *testing.T) {
+	s := Schedule{Plan: []Fault{{Kind: None}, {Kind: Error500}}, Then: Fault{Kind: Kill}}
+	for i, want := range []Kind{None, Error500, Kill, Kill, Kill} {
+		if got := s.at(i).Kind; got != want {
+			t.Errorf("at(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestProxyFaults(t *testing.T) {
+	p := New(backend(), Schedule{Plan: []Fault{
+		{Kind: None},
+		{Kind: Error500},
+		{Kind: Kill},
+		{Kind: Truncate},
+		{Kind: Delay, Latency: time.Millisecond},
+	}})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	// Request 0: untouched.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pass-through: status %d body %q", resp.StatusCode, body)
+	}
+	full := body
+
+	// Request 1: injected 500.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("error500: status %d, want 500", resp.StatusCode)
+	}
+
+	// Request 2: killed connection — a transport-level error, not a status.
+	if resp, err := http.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatalf("kill: got a response (status %d), want a transport error", resp.StatusCode)
+	}
+
+	// Request 3: truncated body — headers claim the full length, the read
+	// must fail part-way rather than yield a plausible short document.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil && len(short) >= len(full) {
+		t.Fatalf("truncate: read %d bytes without error, want a short read of < %d", len(short), len(full))
+	}
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) && rerr == nil {
+		t.Fatalf("truncate: read error %v, want an unexpected EOF", rerr)
+	}
+
+	// Request 4: delayed but served.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != string(full) {
+		t.Fatalf("delay: status %d body %q, want the untouched response", resp.StatusCode, body)
+	}
+
+	want := []Kind{None, Error500, Kill, Truncate, Delay}
+	got := p.Applied()
+	if len(got) != len(want) {
+		t.Fatalf("applied %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("applied %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetScheduleRestartsCounter(t *testing.T) {
+	p := New(backend(), Schedule{})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	// Re-arm: the new plan indexes from zero again.
+	p.SetSchedule(Schedule{Plan: []Fault{{Kind: None}}, Then: Fault{Kind: Kill}})
+	if resp, err := http.Get(ts.URL); err != nil {
+		t.Fatalf("request 0 of the new plan should pass: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("request 1 of the new plan should be killed")
+	}
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring: every backend occupies replicas points on
+// a 64-bit circle, and a key's preference order walks the circle clockwise
+// from the key's hash, listing each distinct backend once. Keys therefore
+// spread evenly, a key maps to the same backend as long as that backend is
+// in the fleet (stage-cache locality), and the walk's tail is the key's
+// deterministic failover order.
+type ring struct {
+	points []ringPoint
+	n      int // distinct backends
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// newRing places each of the n named backends at replicas points, hashed by
+// name (not index) so the circle — and therefore every key's routing — is
+// insensitive to the order the fleet was listed in.
+func newRing(names []string, replicas int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(names)*replicas), n: len(names)}
+	for b, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(name + "#" + strconv.Itoa(v)), backend: b})
+		}
+	}
+	// Ties (hash collisions) break by backend index so the walk order is a
+	// pure function of the name set.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r
+}
+
+// order returns every backend exactly once, in the clockwise walk order
+// from key's hash: order[0] is the key's home backend, the rest its
+// failover sequence.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	if r.n == 0 {
+		return out
+	}
+	seen := make([]bool, r.n)
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. Stage keys share long
+// prefixes and differ in a few trailing characters, where raw FNV gives the
+// high bits almost no avalanche — keys would cluster into narrow arcs of the
+// circle and starve backends. The finalizer mixes every input bit into every
+// output bit while staying a pure function of the string, so routing is
+// reproducible across processes (unlike e.g. the seeded hash/maphash).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

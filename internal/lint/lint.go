@@ -54,6 +54,7 @@ var DeterministicScope = map[string][]string{
 	"preexec/internal/slice":     nil,
 	"preexec/internal/selector":  nil,
 	"preexec/internal/advantage": nil,
+	"preexec/internal/fleet":     nil,
 	"preexec/internal/pthread":   nil,
 	"preexec/internal/stats":     nil,
 	"preexec/internal/sweepio":   nil,

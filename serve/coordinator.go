@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"preexec"
+	"preexec/internal/fleet"
+)
+
+// FleetConfig tunes coordinator mode (enabled by WithBackends). The zero
+// value selects every default.
+type FleetConfig struct {
+	// Fleet holds the retry, backoff, ejection, and per-attempt timeout
+	// parameters (see fleet.Config; zero fields take the fleet defaults).
+	Fleet fleet.Config
+	// ProbeInterval is the period of the background health probe against
+	// each backend's /v1/stats (0 = 2s). A negative interval disables
+	// probing entirely: ejected backends are then never re-admitted, which
+	// is what deterministic tests want.
+	ProbeInterval time.Duration
+	// Client performs the backend HTTP requests (nil = a dedicated default
+	// client).
+	Client *http.Client
+}
+
+const (
+	defaultProbeInterval = 2 * time.Second
+	// probeTimeout bounds one health probe independently of the loop
+	// period, so a black-holing backend cannot stall the probe cycle.
+	probeTimeout = 5 * time.Second
+	// remoteBodyLimit bounds how much of a backend response the coordinator
+	// will buffer; a single-cell SweepResult is a few KB.
+	remoteBodyLimit = 16 << 20
+)
+
+// coordinator fans /v1/sweep grids out across backend preexecds. Each cell
+// is routed by its stage-cache identity on a consistent-hash ring, so every
+// base timing run and profile lands on exactly one backend's StageCache; the
+// fleet package supplies retry, backoff, health ejection, and failover, and
+// an all-backends-dead sweep degrades to local evaluation through the
+// coordinator's own cache. Results merge in deterministic grid order and are
+// bit-identical to a single-node run — the cross-node extension of the
+// golden-test discipline.
+type coordinator struct {
+	srv           *Server
+	pool          *fleet.Pool
+	addrs         []string // normalized backend base URLs = pool names
+	client        *http.Client
+	probeInterval time.Duration
+	stopProbe     context.CancelFunc
+	probeDone     chan struct{}
+
+	remoteCells    atomic.Int64
+	localFallbacks atomic.Int64
+}
+
+func newCoordinator(s *Server, backends []string, fc FleetConfig) *coordinator {
+	addrs := make([]string, len(backends))
+	for i, b := range backends {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		addrs[i] = b
+	}
+	client := fc.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	interval := fc.ProbeInterval
+	if interval == 0 {
+		interval = defaultProbeInterval
+	}
+	c := &coordinator{
+		srv:           s,
+		pool:          fleet.New(addrs, fc.Fleet),
+		addrs:         addrs,
+		client:        client,
+		probeInterval: interval,
+		probeDone:     make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stopProbe = cancel
+	go func() {
+		defer close(c.probeDone)
+		c.pool.ProbeLoop(ctx, c.probeInterval, c.probe)
+	}()
+	return c
+}
+
+// close stops the probe loop and waits for it to exit.
+func (c *coordinator) close() {
+	c.stopProbe()
+	<-c.probeDone
+}
+
+// probe is the health check: a backend is healthy when its /v1/stats
+// answers with a decodable body. The reported load — simulation-gate
+// in-flight plus queued — orders failover preference toward idle backends.
+func (c *coordinator) probe(ctx context.Context, backend int) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.addrs[backend]+"/v1/stats", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("probe: status %d", resp.StatusCode)
+	}
+	var st struct {
+		Gate struct {
+			InFlight int   `json:"in_flight"`
+			Queued   int64 `json:"queued"`
+		} `json:"gate"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return 0, fmt.Errorf("probe: %w", err)
+	}
+	return st.Gate.InFlight + int(st.Gate.Queued), nil
+}
+
+// stageKeys names the two memoized stages a cell needs, in the same terms
+// the StageCache keys them: the base timing run by the normalized machine,
+// and the profile by the normalized profiling window. Program pointers
+// cannot cross processes, so (benchmark name, scale) stands in for the
+// program identity — servers build programs once per (workload, scale), so
+// the substitution is exact.
+func stageKeys(bench string, scale int, cfg preexec.Config) (baseKey, profileKey string) {
+	n := cfg.Normalized()
+	m := n.Machine
+	sel := n.Selection
+	baseKey = fmt.Sprintf("base|%s|%d|w%d|l%d|wi%d|mi%d",
+		bench, scale, m.Width, m.MemLat, m.WarmInsts, m.MeasureInsts)
+	profileKey = fmt.Sprintf("prof|%s|%d|wi%d|pi%d|sc%d|ml%d|ri%d",
+		bench, scale, m.WarmInsts, sel.ProfileInsts, sel.Scope, sel.MaxLen, sel.RegionInsts)
+	return baseKey, profileKey
+}
+
+// coordCell is one grid cell as the coordinator schedules it.
+type coordCell struct {
+	bench string
+	point string
+	scale int
+	// raw is the point's submitted config fragment, forwarded verbatim so
+	// the backend decodes it exactly as a direct client would.
+	raw json.RawMessage
+	// cfg is the decoded configuration, for the local-fallback engine.
+	cfg  preexec.Config
+	prog *preexec.Program
+	// routeKey concatenates both stage keys: cells sharing all their stage
+	// work land on one backend's cache together.
+	routeKey string
+	baseKey  string
+	profKey  string
+}
+
+// sweep evaluates the grid across the fleet and merges the result in grid
+// order. raws aligns with points (the submitted config fragments; nil for
+// the implicit default point). The merged CacheStats are modeled, not
+// summed: BaseRuns is the number of distinct base-stage groups in the grid
+// and BaseHits the cells beyond the first of each group (likewise profiles)
+// — exactly the counters a fresh single-node cache reports. Summing backend
+// deltas would drift under faults (a truncated response loses a counted
+// run, a retry recounts one), silently breaking byte-identity with the
+// single-node golden.
+func (c *coordinator) sweep(ctx context.Context, benches []preexec.SweepBench, points []preexec.ConfigPoint, raws []json.RawMessage, scale, workers int, progress func(preexec.SuiteEvent)) (*preexec.SweepResult, error) {
+	cells := make([]coordCell, 0, len(benches)*len(points))
+	baseGroups := make(map[string]bool)
+	profGroups := make(map[string]bool)
+	for _, b := range benches {
+		name := b.Name
+		if name == "" {
+			name = b.Program.Name
+		}
+		for pi, pt := range points {
+			bk, pk := stageKeys(name, scale, pt.Config)
+			baseGroups[bk] = true
+			profGroups[pk] = true
+			cells = append(cells, coordCell{
+				bench:    name,
+				point:    pt.Name,
+				scale:    scale,
+				raw:      raws[pi],
+				cfg:      pt.Config,
+				prog:     b.Program,
+				routeKey: bk + "\x00" + pk,
+				baseKey:  bk,
+				profKey:  pk,
+			})
+		}
+	}
+
+	res := &preexec.SweepResult{Cells: make([]preexec.SweepCell, len(cells))}
+	for i, cl := range cells {
+		res.Cells[i] = preexec.SweepCell{Bench: cl.bench, Point: cl.point, Err: preexec.ErrJobNotRun}
+	}
+	res.Cache = preexec.CacheStats{
+		BaseRuns:    int64(len(baseGroups)),
+		BaseHits:    int64(len(cells) - len(baseGroups)),
+		ProfileRuns: int64(len(profGroups)),
+		ProfileHits: int64(len(cells) - len(profGroups)),
+	}
+
+	var (
+		mu   sync.Mutex // guards done and progress calls
+		done int
+	)
+	err := preexec.ParallelEach(ctx, workers, len(cells), func(ctx context.Context, i int) error {
+		rep, err := c.runCell(ctx, cells[i])
+		if err == nil {
+			res.Cells[i].Report = rep
+		}
+		res.Cells[i].Err = err
+		mu.Lock()
+		done++
+		if progress != nil {
+			ev := preexec.SuiteEvent{Index: i, Total: len(cells), Done: done, Name: cells[i].bench + "/" + cells[i].point, Err: err}
+			if err == nil {
+				ev.Report = &res.Cells[i].Report
+			}
+			//lint:ignore lockscope progress is documented as serialized (the Suite.Progress contract); the mutex provides exactly that, and the callback must not call back into the coordinator.
+			progress(ev)
+		}
+		mu.Unlock()
+		return err
+	})
+	return res, err
+}
+
+// runCell evaluates one cell: remotely on its home backend with retry,
+// backoff, and failover; locally through the coordinator's own engine and
+// StageCache when no backend is live (graceful degradation) or when the
+// fleet deterministically rejected the cell (e.g. a workload registered
+// only on the coordinator).
+func (c *coordinator) runCell(ctx context.Context, cell coordCell) (preexec.Report, error) {
+	rep, _, err := fleet.Do(ctx, c.pool, cell.routeKey, func(ctx context.Context, backend int) (preexec.Report, error) {
+		return c.remoteCell(ctx, backend, cell)
+	})
+	switch {
+	case err == nil:
+		c.remoteCells.Add(1)
+		return rep, nil
+	case errors.Is(err, fleet.ErrNoBackends), fleet.IsPermanent(err):
+		c.localFallbacks.Add(1)
+		return c.srv.engine(cell.cfg).Evaluate(ctx, cell.prog)
+	default:
+		return preexec.Report{}, err
+	}
+}
+
+// remoteCell runs one cell on one backend as a single-cell /v1/sweep and
+// validates the payload hard: a short, garbled, or mislabeled response is an
+// ordinary retryable failure, never a value. Only a decodable 4xx rejection
+// is permanent — it is the request's own fault and retrying elsewhere
+// cannot change it.
+func (c *coordinator) remoteCell(ctx context.Context, backend int, cell coordCell) (preexec.Report, error) {
+	var zero preexec.Report
+	body, err := json.Marshal(struct {
+		Benches []string     `json:"benches"`
+		Scale   int          `json:"scale,omitempty"`
+		Points  []sweepPoint `json:"points"`
+		Workers int          `json:"workers"`
+	}{
+		Benches: []string{cell.bench},
+		Scale:   cell.scale,
+		Points:  []sweepPoint{{Name: cell.point, Config: cell.raw}},
+		Workers: 1,
+	})
+	if err != nil {
+		return zero, fleet.Permanent(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.addrs[backend]+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return zero, fleet.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, remoteBodyLimit))
+	if err != nil {
+		return zero, fmt.Errorf("cell %s/%s: reading response: %w", cell.bench, cell.point, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := fmt.Errorf("cell %s/%s: backend status %d: %.200s", cell.bench, cell.point, resp.StatusCode, raw)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && json.Valid(raw) {
+			return zero, fleet.Permanent(msg)
+		}
+		return zero, msg
+	}
+	var remote struct {
+		Cells []struct {
+			Bench  string         `json:"bench"`
+			Point  string         `json:"point"`
+			Report preexec.Report `json:"report"`
+			Error  string         `json:"error"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &remote); err != nil {
+		return zero, fmt.Errorf("cell %s/%s: garbled response: %w", cell.bench, cell.point, err)
+	}
+	if len(remote.Cells) != 1 {
+		return zero, fmt.Errorf("cell %s/%s: backend returned %d cells, want 1", cell.bench, cell.point, len(remote.Cells))
+	}
+	rc := remote.Cells[0]
+	if rc.Bench != cell.bench || rc.Point != cell.point {
+		return zero, fmt.Errorf("cell %s/%s: backend returned cell %s/%s", cell.bench, cell.point, rc.Bench, rc.Point)
+	}
+	if rc.Error != "" {
+		// The grid was validated before fan-out, so a per-cell failure under
+		// a valid configuration is backend trouble (a draining or saturated
+		// node), not a property of the cell: retryable.
+		return zero, fmt.Errorf("cell %s/%s: backend cell error: %s", cell.bench, cell.point, rc.Error)
+	}
+	if rc.Report.Program == "" || rc.Report.Base.Retired == 0 {
+		return zero, fmt.Errorf("cell %s/%s: backend returned an empty report", cell.bench, cell.point)
+	}
+	return rc.Report, nil
+}
+
+// fleetStats is the coordinator section of /v1/stats.
+type fleetStats struct {
+	// Backends is each backend's health, in -backends order.
+	Backends []fleet.BackendStatus `json:"backends"`
+	// Retries counts remote cell attempts beyond each cell's first;
+	// Failovers counts cells served away from their home backend.
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	// RemoteCells counts cells completed on a backend; LocalFallbacks
+	// counts cells the coordinator evaluated itself.
+	RemoteCells    int64 `json:"remote_cells"`
+	LocalFallbacks int64 `json:"local_fallbacks"`
+}
+
+func (c *coordinator) stats() *fleetStats {
+	retries, failovers := c.pool.Stats()
+	return &fleetStats{
+		Backends:       c.pool.Snapshot(),
+		Retries:        retries,
+		Failovers:      failovers,
+		RemoteCells:    c.remoteCells.Load(),
+		LocalFallbacks: c.localFallbacks.Load(),
+	}
+}

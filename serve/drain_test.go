@@ -1,0 +1,106 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"preexec/serve"
+)
+
+// TestDrainDuringStream pins the shutdown contract for NDJSON sweeps: when
+// the server's base context is cancelled mid-stream (what cmd/preexecd does
+// on SIGTERM), the client sees an explicit {"event":"error"} line — never a
+// silently truncated stream that looks like a short but successful sweep,
+// and never a result event assembled from partial work.
+func TestDrainDuringStream(t *testing.T) {
+	baseCtx, drain := context.WithCancel(context.Background())
+	defer drain()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{
+		Handler:     serve.New(serve.WithWorkers(1)),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() { _ = hs.Close() })
+
+	// A 9-cell grid on a 1-worker server: plenty of stream left to drain
+	// into after the first cell arrives.
+	body := fmt.Sprintf(`{"benches": ["crafty", "gap", "mcf"], "stream": true, "workers": 1,
+		"points": [{"name": "a", "config": %s},
+		           {"name": "b", "config": %s},
+		           {"name": "c", "config": %s}]}`, smallCfg, smallCfg, smallCfg)
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/sweep", "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("stream ended before the first event: %v", sc.Err())
+	}
+	first := sc.Bytes()
+	var ev struct {
+		Event string `json:"event"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(first, &ev); err != nil {
+		t.Fatalf("first stream line %q: %v", first, err)
+	}
+	if ev.Event != "cell" {
+		t.Fatalf("first event %q, want cell", ev.Event)
+	}
+
+	// SIGTERM arrives: the serving process cancels its base context, which
+	// every in-flight request context inherits.
+	drain()
+
+	var sawError, sawResult bool
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev.Event, ev.Error = "", ""
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("stream line %q: %v", line, err)
+		}
+		switch ev.Event {
+		case "cell":
+			// Cells already finished may still flush; fine.
+		case "error":
+			sawError = true
+			if ev.Error == "" {
+				t.Error("error event with an empty message")
+			}
+		case "result":
+			sawResult = true
+		default:
+			t.Errorf("unexpected event %q", ev.Event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading drained stream: %v", err)
+	}
+	if sawResult {
+		t.Error("drained stream emitted a result event")
+	}
+	if !sawError {
+		t.Error("drained stream ended without an explicit error event")
+	}
+}

@@ -25,6 +25,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	// Load-limit responses carry Retry-After so fleet clients (and the sweep
+	// coordinator's backoff) can pace themselves instead of hot-looping: the
+	// 429 upload cap is a slow-moving budget, the 413 body bound something a
+	// client can fix and resubmit promptly.
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "60")
+	case http.StatusRequestEntityTooLarge:
+		w.Header().Set("Retry-After", "10")
+	}
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 

@@ -1,0 +1,12 @@
+package serve
+
+import "preexec"
+
+// CoordinatorHome returns the backend address the coordinator routes the
+// (bench, scale, cfg) cell to — a test hook that lets the chaos tests pick
+// their fault target deterministically even though httptest backends get
+// random ports (and therefore random ring placement) per run.
+func (s *Server) CoordinatorHome(bench string, scale int, cfg preexec.Config) string {
+	bk, pk := stageKeys(bench, scale, cfg)
+	return s.coord.addrs[s.coord.pool.Order(bk + "\x00" + pk)[0]]
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"preexec"
 )
@@ -12,25 +13,44 @@ import (
 // many expensive pipeline stages run at once. Requests queue here instead of
 // oversubscribing the simulator, so N concurrent clients cost bounded CPU
 // and memory. Acquisition is context-aware: a disconnected client stops
-// waiting for a slot.
-type gate chan struct{}
+// waiting for a slot. The in-flight and queued gauges feed /v1/stats — the
+// saturation signal a sweep coordinator's health probe steers failover by.
+type gate struct {
+	slots  chan struct{}
+	queued atomic.Int64
+}
 
-func (g gate) acquire(ctx context.Context) error {
+func newGate(n int) *gate { return &gate{slots: make(chan struct{}, n)} }
+
+func (g *gate) acquire(ctx context.Context) error {
 	select {
-	case g <- struct{}{}:
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-func (g gate) release() { <-g }
+func (g *gate) release() { <-g.slots }
+
+// inFlight is the number of expensive stages currently holding a slot.
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// queueDepth is the number of stages blocked waiting for a slot.
+func (g *gate) queueDepth() int64 { return g.queued.Load() }
 
 // gatedProfiler runs the wrapped profiling backend inside a worker slot.
 // Only the computation acquires: requests coalesced onto a cached flight
 // never enter the gate.
 type gatedProfiler struct {
-	g gate
+	g *gate
 	p preexec.Profiler
 }
 
@@ -44,7 +64,7 @@ func (gp gatedProfiler) Profile(ctx context.Context, p *preexec.Program, opts pr
 
 // gatedSimulator runs the wrapped timing backend inside a worker slot.
 type gatedSimulator struct {
-	g gate
+	g *gate
 	s preexec.Simulator
 }
 

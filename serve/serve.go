@@ -74,7 +74,7 @@ type Server struct {
 
 	// gate is the server-wide worker pool every expensive unit — timing
 	// runs, profiles, program builds — passes through.
-	gate gate
+	gate *gate
 
 	// programs holds the benchmarks built so far, keyed by (canonical name,
 	// scale), LRU-bounded to programCacheLimit entries. Pointer-stable
@@ -95,6 +95,14 @@ type Server struct {
 	inFlight  atomic.Int64
 	completed atomic.Int64
 	uploads   atomic.Int64
+
+	// Coordinator mode (WithBackends): /v1/sweep fans out across backend
+	// preexecds instead of evaluating locally; every other endpoint still
+	// serves locally, which is also the sweep's graceful-degradation path.
+	backendAddrs []string
+	fleetCfg     FleetConfig
+	coord        *coordinator
+	closeOnce    sync.Once
 
 	mux *http.ServeMux
 }
@@ -118,6 +126,21 @@ func WithCacheLimit(n int) Option { return func(s *Server) { s.cacheLimit = n } 
 // the same memoized stages, and for tests asserting cache behaviour.
 func WithStageCache(c *preexec.StageCache) Option { return func(s *Server) { s.cache = c } }
 
+// WithBackends turns the server into a sweep coordinator over the given
+// backend preexecd addresses (host:port or full base URLs): /v1/sweep cells
+// are consistent-hashed by their stage-cache identity across the fleet,
+// retried with backoff on failure, failed over from ejected backends, and
+// merged in deterministic grid order — byte-identical to a single-node run.
+// Call Server.Close when done to stop the background health probe.
+func WithBackends(addrs ...string) Option {
+	return func(s *Server) { s.backendAddrs = addrs }
+}
+
+// WithFleetConfig tunes coordinator mode (ignored without WithBackends).
+func WithFleetConfig(fc FleetConfig) Option {
+	return func(s *Server) { s.fleetCfg = fc }
+}
+
 // New builds a Server ready to serve.
 func New(opts ...Option) *Server {
 	s := &Server{
@@ -138,7 +161,7 @@ func New(opts ...Option) *Server {
 			s.cache = preexec.NewStageCache()
 		}
 	}
-	s.gate = make(gate, s.workers)
+	s.gate = newGate(s.workers)
 	profiler, selector, simulator := preexec.ReferenceStages()
 	s.profiler = gatedProfiler{g: s.gate, p: profiler}
 	s.selector = selector // selection is cheap and stays ungated
@@ -148,6 +171,9 @@ func New(opts ...Option) *Server {
 		preexec.WithSelector(s.selector),
 		preexec.WithSimulator(s.simulator),
 	)
+	if len(s.backendAddrs) > 0 {
+		s.coord = newCoordinator(s, s.backendAddrs, s.fleetCfg)
+	}
 
 	// One route table drives both the mux registrations and the catch-all's
 	// 405 map, so the two can never drift apart.
@@ -199,6 +225,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Workers returns the server-wide stage-concurrency bound.
 func (s *Server) Workers() int { return s.workers }
+
+// Close releases the server's background resources — the coordinator's
+// health-probe loop. It is a no-op for non-coordinator servers and safe to
+// call more than once; the HTTP surface itself holds no resources to close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.coord != nil {
+			s.coord.close()
+		}
+	})
+}
 
 // Cache returns the server's shared stage cache.
 func (s *Server) Cache() *preexec.StageCache { return s.cache }

@@ -285,15 +285,32 @@ func TestUploadPRX(t *testing.T) {
 
 // TestUploadLimitAndOversizeBody pins the two abuse bounds of the upload
 // path: the per-server registration cap answers 429, and an over-limit
-// request body answers 413 (not a retryable-looking 400).
+// request body answers 413 (not a retryable-looking 400). Both backpressure
+// responses carry Retry-After so fleet clients can pace themselves instead
+// of hammering a saturated backend.
 func TestUploadLimitAndOversizeBody(t *testing.T) {
 	ts := newTestServer(t)
 
+	// postResp is post() plus header access, for the Retry-After asserts.
+	postResp := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/workloads", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
 	// Oversize body: just past the 64MB reader limit.
 	huge := `{"prx": "` + strings.Repeat("; filler\\n", 8<<20) + `halt\n"}`
-	status, raw := post(t, ts.URL+"/v1/workloads", huge)
-	if status != http.StatusRequestEntityTooLarge {
-		t.Errorf("oversize body: status %d, want 413 (%.120s)", status, raw)
+	resp := postResp(huge)
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize body: status %d, want 413 (%.120s)", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("413 response has no Retry-After header")
 	}
 
 	// Registration cap: exhaust the per-server budget with tiny uploads.
@@ -305,17 +322,21 @@ func TestUploadLimitAndOversizeBody(t *testing.T) {
 	})
 	for i := 0; ; i++ {
 		name := fmt.Sprintf("serve.test.cap%d", i)
-		status, raw := post(t, ts.URL+"/v1/workloads",
-			fmt.Sprintf(`{"prx": ".name %s\nhalt\n"}`, name))
-		if status == http.StatusCreated {
+		resp := postResp(fmt.Sprintf(`{"prx": ".name %s\nhalt\n"}`, name))
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusCreated {
 			registered = append(registered, name)
 			if len(registered) > 300 {
 				t.Fatal("no upload cap engaged after 300 registrations")
 			}
 			continue
 		}
-		if status != http.StatusTooManyRequests || !bytes.Contains(raw, []byte("upload limit")) {
-			t.Fatalf("upload %d: status %d body %s, want 429 naming the upload limit", i, status, raw)
+		if resp.StatusCode != http.StatusTooManyRequests || !bytes.Contains(raw, []byte("upload limit")) {
+			t.Fatalf("upload %d: status %d body %s, want 429 naming the upload limit",
+				i, resp.StatusCode, raw)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Error("429 response has no Retry-After header")
 		}
 		break
 	}

@@ -39,6 +39,17 @@ type statsResponse struct {
 	Workloads int `json:"workloads"`
 	// Workers is the server-wide stage-concurrency bound.
 	Workers int `json:"workers"`
+	// Gate is the simulation gate's saturation: slots held by running
+	// stages and stages queued behind them. A sweep coordinator's health
+	// probe reads this to prefer idle backends for failover.
+	Gate struct {
+		Workers  int   `json:"workers"`
+		InFlight int   `json:"in_flight"`
+		Queued   int64 `json:"queued"`
+	} `json:"gate"`
+	// Fleet is present only in coordinator mode: per-backend health plus
+	// the retry, failover, and fallback counters.
+	Fleet *fleetStats `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -52,5 +63,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.ProgramsCached = s.cachedPrograms()
 	resp.Workloads = len(preexec.WorkloadNames())
 	resp.Workers = s.workers
+	resp.Gate.Workers = s.workers
+	resp.Gate.InFlight = s.gate.inFlight()
+	resp.Gate.Queued = s.gate.queueDepth()
+	if s.coord != nil {
+		resp.Fleet = s.coord.stats()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

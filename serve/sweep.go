@@ -73,8 +73,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	points := make([]preexec.ConfigPoint, 0, len(req.Points))
+	// rawCfgs aligns with points: the submitted config fragments, which the
+	// coordinator forwards verbatim so backends decode exactly what a direct
+	// client would have sent (nil for the implicit default point).
+	rawCfgs := make([]json.RawMessage, 0, len(req.Points))
 	if len(req.Points) == 0 {
 		points = append(points, preexec.ConfigPoint{Name: "base", Config: preexec.DefaultConfig()})
+		rawCfgs = append(rawCfgs, nil)
 	}
 	for i, pt := range req.Points {
 		if err := ctx.Err(); err != nil {
@@ -91,24 +96,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		points = append(points, preexec.ConfigPoint{Name: pt.Name, Config: cfg})
+		rawCfgs = append(rawCfgs, pt.Config)
 	}
 
-	workers := req.Workers
-	if workers <= 0 || workers > s.workers {
-		workers = s.workers
+	// A coordinator's cells run on backend worker pools, not the local
+	// simulation gate, so its concurrency bound scales with the fleet.
+	maxWorkers := s.workers
+	if s.coord != nil {
+		maxWorkers = s.workers * len(s.coord.addrs)
 	}
-	sweep := &preexec.Sweep{Engine: s.base, Workers: workers, Cache: s.cache}
+	workers := req.Workers
+	if workers <= 0 || workers > maxWorkers {
+		workers = maxWorkers
+	}
 
 	// Validate the grid while a status code can still be chosen — once a
 	// stream starts, errors can only be trailing events. Run plans again
 	// internally; planning is cheap next to one simulated cell.
-	if _, err := sweep.Plan(benches, points, nil); err != nil {
+	if _, err := (&preexec.Sweep{Engine: s.base}).Plan(benches, points, nil); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
+	// run is the one evaluation path both renderings share: fanned out
+	// across the fleet in coordinator mode, through the local memoized
+	// sweep otherwise.
+	run := func(progress func(preexec.SuiteEvent)) (*preexec.SweepResult, error) {
+		if s.coord != nil {
+			return s.coord.sweep(ctx, benches, points, rawCfgs, scale, workers, progress)
+		}
+		sweep := &preexec.Sweep{Engine: s.base, Workers: workers, Cache: s.cache, Progress: progress}
+		return sweep.Run(ctx, benches, points)
+	}
+
 	if !req.Stream {
-		res, err := sweep.Run(ctx, benches, points)
+		res, err := run(nil)
 		if err != nil {
 			if cancelled(ctx, err) {
 				writeError(w, http.StatusServiceUnavailable, "sweep cancelled: %v", err)
@@ -137,7 +159,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	sweep.Progress = func(ev preexec.SuiteEvent) {
+	res, err := run(func(ev preexec.SuiteEvent) {
 		_ = enc.Encode(struct {
 			Event string             `json:"event"`
 			Cell  preexec.SuiteEvent `json:"cell"`
@@ -145,8 +167,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-	}
-	res, err := sweep.Run(ctx, benches, points)
+	})
 	if err != nil {
 		_ = enc.Encode(struct {
 			Event string `json:"event"`
