@@ -1,20 +1,30 @@
 // Command preexeclint runs the repo's custom analyzer suite (internal/lint)
-// over the module: determinism, ctxloop, lockscope, errwrap, and configzero.
-// It is the static half of the invariant enforcement whose dynamic half is
-// the golden/race/fuzz test layer, and runs in CI alongside go vet.
+// over the module: the per-package analyzers (determinism, ctxloop,
+// lockscope, errwrap, configzero) and the whole-program analyzers (detflow,
+// goroutine, allocbudget) built on the internal/lint/callgraph engine. It is
+// the static half of the invariant enforcement whose dynamic half is the
+// golden/race/fuzz test layer, and runs in CI alongside go vet.
 //
 // Usage:
 //
-//	go run ./cmd/preexeclint ./...          # analyze the whole module
-//	go run ./cmd/preexeclint -list          # describe the analyzers
+//	go run ./cmd/preexeclint ./...                # analyze the whole module
+//	go run ./cmd/preexeclint -json ./...          # machine-readable findings
+//	go run ./cmd/preexeclint -list                # describe the analyzers
+//	go run ./cmd/preexeclint -update-allocbudget  # regenerate the timing
+//	                                              # allocation budget
 //
-// Findings print as file:line:col: message (analyzer); the exit status is 1
-// if any finding survives suppression filtering. A finding is suppressed by
-// a //lint:ignore <analyzer> <justification> directive on the same line or
-// the line above; the justification is mandatory.
+// Findings print as file:line:col: message (analyzer) — the format the
+// repo's GitHub Actions problem matcher annotates PR diffs with — or, with
+// -json, as a JSON array of objects {file, line, col, message, analyzer}.
+// The exit status is 1 if any finding survives suppression filtering. A
+// finding is suppressed by a //lint:ignore <analyzer> <justification>
+// directive on the same line or the line above; the justification is
+// mandatory, and one directive can cover several analyzers
+// (//lint:ignore a,b reason).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -29,11 +39,18 @@ import (
 
 func main() {
 	listOnly := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON instead of text")
+	updateBudget := flag.Bool("update-allocbudget", false,
+		"regenerate the recorded escapes in "+lint.AllocBudgetPath+" and exit")
 	flag.Parse()
 
 	if *listOnly {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			kind := "package"
+			if a.RunModule != nil {
+				kind = "module "
+			}
+			fmt.Printf("%-12s [%s] %s\n", a.Name, kind, a.Doc)
 		}
 		return
 	}
@@ -42,18 +59,41 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if *updateBudget {
+		patterns = []string{"./internal/timing"}
+	}
 
 	pkgs, fset, err := load.Module(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "preexeclint:", err)
 		os.Exit(2)
 	}
+	units := make([]*analysis.PackageUnit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &analysis.PackageUnit{Path: p.Path, Dir: p.Dir, Files: p.Files, Pkg: p.Types, Info: p.Info}
+	}
 
-	total := 0
-	for _, pkg := range pkgs {
-		var diags []analysis.Diagnostic
-		sink := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if *updateBudget {
+		if err := regenerateBudget(fset, units); err != nil {
+			fmt.Fprintln(os.Stderr, "preexeclint:", err)
+			os.Exit(2)
+		}
+		fmt.Println("preexeclint: regenerated", lint.AllocBudgetPath)
+		return
+	}
+
+	var (
+		diags []analysis.Diagnostic
+		sups  []*lint.Suppression
+	)
+	sink := func(d analysis.Diagnostic) { diags = append(diags, d) }
+
+	// Per-package analyzers.
+	for i, pkg := range pkgs {
 		for _, a := range lint.Analyzers() {
+			if a.Run == nil {
+				continue
+			}
 			files := pkg.Files
 			if a == lint.Determinism {
 				scoped, ok := deterministicFiles(fset, pkg)
@@ -75,17 +115,98 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		sups := lint.Suppressions(fset, pkg.Files)
-		for _, d := range lint.Filter(fset, sups, diags) {
-			pos := fset.Position(d.Pos)
-			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Category)
-			total++
+		sups = append(sups, lint.Suppressions(fset, units[i].Files)...)
+	}
+
+	// Whole-program analyzers, sharing one artifact cache (the call graph is
+	// built once).
+	shared := analysis.NewShared()
+	for _, a := range lint.Analyzers() {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := (&analysis.ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Packages: units,
+			Report:   sink,
+		}).WithShared(shared)
+		if _, err := a.RunModule(mp); err != nil {
+			fmt.Fprintf(os.Stderr, "preexeclint: %s: %v\n", a.Name, err)
+			os.Exit(2)
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "preexeclint: %d finding(s)\n", total)
+
+	surviving := lint.Filter(fset, sups, diags)
+	if *jsonOut {
+		writeJSON(fset, surviving)
+	} else {
+		for _, d := range surviving {
+			fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Category)
+		}
+	}
+	if len(surviving) > 0 {
+		fmt.Fprintf(os.Stderr, "preexeclint: %d finding(s)\n", len(surviving))
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the -json output shape, one object per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+func writeJSON(fset *token.FileSet, diags []analysis.Diagnostic) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiagnostic{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Message,
+			Analyzer: d.Category,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "preexeclint:", err)
+		os.Exit(2)
+	}
+}
+
+// regenerateBudget recomputes the allocation budget's recorded escapes from
+// a fresh escape-analysis run, preserving the hot-function list.
+func regenerateBudget(fset *token.FileSet, units []*analysis.PackageUnit) error {
+	var unit *analysis.PackageUnit
+	for _, u := range units {
+		if u.Path == "preexec/internal/timing" {
+			unit = u
+			break
+		}
+	}
+	if unit == nil {
+		return fmt.Errorf("-update-allocbudget: preexec/internal/timing not loaded")
+	}
+	root, err := lint.ModuleRoot(unit.Dir)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(root, lint.AllocBudgetPath)
+	budget, err := lint.LoadBudget(path)
+	if err != nil {
+		return fmt.Errorf("loading %s: %v (the hot-function list must exist; only recorded escapes are regenerated)", path, err)
+	}
+	escapes, err := lint.CollectEscapes(unit.Dir, fset, unit.Files)
+	if err != nil {
+		return err
+	}
+	return lint.UpdateBudget(path, budget, escapes)
 }
 
 // deterministicFiles returns the subset of pkg's files the determinism

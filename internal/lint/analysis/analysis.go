@@ -15,7 +15,10 @@ import (
 	"go/types"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and RunModule is
+// set: Run is the classic per-package shape, RunModule the whole-program
+// shape for interprocedural analyses (call-graph reachability, goroutine
+// lifecycle, build-tool diffs) that a single package's AST cannot answer.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //lint:ignore <name> suppression directives. It must look like a Go
@@ -28,6 +31,10 @@ type Analyzer struct {
 	// pass.Report. The returned value is unused (kept for upstream
 	// signature compatibility).
 	Run func(pass *Pass) (any, error)
+	// RunModule executes the check once over every loaded package together.
+	// Analyzers with RunModule set are skipped by per-package drivers and
+	// vice versa.
+	RunModule func(pass *ModulePass) (any, error)
 }
 
 // Pass is one (analyzer, package) execution: the parsed files, the
@@ -55,6 +62,64 @@ type Diagnostic struct {
 // Reportf reports a formatted finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Category: p.Analyzer.Name})
+}
+
+// PackageUnit is one loaded package as a whole-program analyzer sees it —
+// the same parsed+type-checked contents a per-package Pass carries, plus the
+// package's on-disk location (build-tool analyzers shell out per directory).
+type PackageUnit struct {
+	Path  string // import path
+	Dir   string // package directory on disk
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// ModulePass is one whole-program analyzer execution: every loaded package
+// at once, sharing one FileSet so positions are comparable across packages.
+type ModulePass struct {
+	Analyzer *Analyzer
+
+	Fset     *token.FileSet
+	Packages []*PackageUnit
+
+	// Report receives each finding, as in Pass.
+	Report func(Diagnostic)
+
+	// shared memoizes artifacts built from the package set (e.g. the call
+	// graph) across the module analyzers of one driver run.
+	shared map[string]any
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Category: p.Analyzer.Name})
+}
+
+// Shared returns the cached artifact under key, building it with build on
+// first use. Drivers reuse one ModulePass backing store across analyzers (see
+// NewShared), so expensive whole-program structures are built once per run.
+func (p *ModulePass) Shared(key string, build func() any) any {
+	if p.shared == nil {
+		p.shared = map[string]any{}
+	}
+	v, ok := p.shared[key]
+	if !ok {
+		v = build()
+		p.shared[key] = v
+	}
+	return v
+}
+
+// NewShared returns a Shared backing store to assign across the ModulePasses
+// of one driver run via WithShared.
+func NewShared() map[string]any { return map[string]any{} }
+
+// WithShared installs a shared backing store (from NewShared) so several
+// ModulePasses memoize into the same cache.
+func (p *ModulePass) WithShared(s map[string]any) *ModulePass {
+	p.shared = s
+	return p
 }
 
 // Inspect walks every file of the pass in depth-first order, calling fn for

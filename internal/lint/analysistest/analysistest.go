@@ -82,30 +82,60 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgName string)
 		}
 		imp.base = importer.ForCompiler(fset, "gc", idx.Lookup)
 	}
+	var units []*analysis.PackageUnit
 	for _, dep := range localDeps {
 		pkg, err := checkDir(fset, src, dep, imp)
 		if err != nil {
 			t.Fatalf("loading testdata dependency %s: %v", dep, err)
 		}
 		imp.local[dep] = pkg.Types
+		units = append(units, unitOf(pkg))
 	}
 
 	target, err := checkDir(fset, src, pkgName, imp)
 	if err != nil {
 		t.Fatal(err)
 	}
+	units = append(units, unitOf(target))
 
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     target.Files,
-		Pkg:       target.Types,
-		TypesInfo: target.Info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if a.RunModule != nil {
+		// Module analyzers see the whole testdata closure (so call chains can
+		// cross fixture packages); expectations are checked on the target
+		// package only, so findings landing in a dependency are dropped.
+		mp := (&analysis.ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Packages: units,
+			Report:   report,
+		}).WithShared(analysis.NewShared())
+		if _, err := a.RunModule(mp); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		inTarget := map[string]bool{}
+		for _, f := range target.Files {
+			inTarget[fset.Position(f.Pos()).Filename] = true
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if inTarget[fset.Position(d.Pos).Filename] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	} else {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     target.Files,
+			Pkg:       target.Types,
+			TypesInfo: target.Info,
+			Report:    report,
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
 	}
 	diags = lint.Filter(fset, lint.Suppressions(fset, target.Files), diags)
 
@@ -236,6 +266,11 @@ func goFiles(dir string) ([]string, error) {
 		return nil, fmt.Errorf("no .go files in %s", dir)
 	}
 	return names, nil
+}
+
+// unitOf adapts a loaded testdata package to the module-analyzer input shape.
+func unitOf(p *load.Package) *analysis.PackageUnit {
+	return &analysis.PackageUnit{Path: p.Path, Dir: p.Dir, Files: p.Files, Pkg: p.Types, Info: p.Info}
 }
 
 func checkDir(fset *token.FileSet, src, name string, imp types.Importer) (*load.Package, error) {

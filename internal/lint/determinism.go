@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"preexec/internal/lint/analysis"
@@ -61,7 +63,23 @@ func isGlobalRand(info *types.Info, call *ast.CallExpr) bool {
 // visits those separately) for map-range statements whose bodies leak
 // iteration order.
 func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
-	info := pass.TypesInfo
+	for _, l := range mapOrderLeaks(pass.TypesInfo, body) {
+		pass.Reportf(l.Pos, "%s", l.Message)
+	}
+}
+
+// orderLeak is one order-dependence finding inside a map iteration, shared
+// between the local determinism analyzer and the whole-program detflow
+// analyzer (which prefixes it with the reaching call chain).
+type orderLeak struct {
+	Pos     token.Pos
+	Message string
+}
+
+// mapOrderLeaks scans one function body (shallow: nested literals are their
+// own functions) for map-range statements whose bodies leak iteration order.
+func mapOrderLeaks(info *types.Info, body *ast.BlockStmt) []orderLeak {
+	var leaks []orderLeak
 	inspectShallow(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -74,28 +92,32 @@ func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		reportOrderLeaks(pass, body, rng)
+		leaks = append(leaks, rangeOrderLeaks(info, body, rng)...)
 		return true
 	})
+	return leaks
 }
 
-// reportOrderLeaks flags statements inside a map-range body that make the
+// rangeOrderLeaks collects statements inside a map-range body that make the
 // visit order observable: writing output, sending on channels, appending to
 // a slice that is never sorted afterwards, or accumulating floats (whose
 // addition is not associative, so per-order sums differ in the low bits).
-func reportOrderLeaks(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
-	info := pass.TypesInfo
+func rangeOrderLeaks(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt) []orderLeak {
+	var leaks []orderLeak
+	report := func(pos token.Pos, format string, args ...any) {
+		leaks = append(leaks, orderLeak{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
 	// appended maps each slice object appended to inside the loop to the
 	// position of the first such append.
 	appended := map[types.Object]ast.Node{}
 	inspectShallow(rng.Body, func(n ast.Node) bool {
 		switch stmt := n.(type) {
 		case *ast.SendStmt:
-			pass.Reportf(stmt.Pos(),
+			report(stmt.Pos(),
 				"channel send inside map iteration publishes values in map order; iterate a sorted key slice instead")
 		case *ast.CallExpr:
 			if writesOutput(info, stmt) {
-				pass.Reportf(stmt.Pos(),
+				report(stmt.Pos(),
 					"output written inside map iteration follows map order; iterate a sorted key slice instead")
 			}
 		case *ast.AssignStmt:
@@ -118,7 +140,7 @@ func reportOrderLeaks(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.Range
 				case "+=", "-=", "*=", "/=":
 					if t := info.Types[stmt.Lhs[0]].Type; t != nil {
 						if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
-							pass.Reportf(stmt.Pos(),
+							report(stmt.Pos(),
 								"floating-point accumulation inside map iteration is order-sensitive in the low bits; accumulate over sorted keys")
 						}
 					}
@@ -129,10 +151,11 @@ func reportOrderLeaks(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.Range
 	})
 	for obj, at := range appended {
 		if !sortedAfter(info, fnBody, rng, obj) {
-			pass.Reportf(at.Pos(),
+			report(at.Pos(),
 				"append to %s inside map iteration fixes map order into the slice; sort it afterwards or iterate sorted keys", obj.Name())
 		}
 	}
+	return leaks
 }
 
 // writesOutput reports calls that emit bytes: fmt print/fprint family and

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"preexec/internal/lint/analysis"
+	"preexec/internal/lint/callgraph"
+)
+
+// DetFlow is the whole-program extension of the determinism analyzer: every
+// function transitively reachable from the bit-reproducible API surface
+// (DeterministicRoots plus //lint:detroot-marked functions) must not reach
+// time.Now, the global math/rand source, or order-leaking map iteration in
+// any callee — regardless of which package the callee lives in. The local
+// determinism analyzer stays as the fast per-package check over
+// DeterministicScope; detflow is what catches a leak smuggled in through a
+// package outside that scope (a serve helper, a fleet callback, a cmd
+// wrapper) and reports the full call chain from the root to the sink.
+var DetFlow = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "whole-program determinism: no time.Now, global math/rand, or " +
+		"order-leaking map iteration transitively reachable from the " +
+		"bit-reproducible API surface, reported with the full call chain",
+	RunModule: runDetFlow,
+}
+
+// DeterministicRoots names the functions whose full transitive call closure
+// must stay bit-reproducible, keyed by (*types.Func).FullName. These are the
+// entry points the golden tests pin byte-for-byte: the memoized sweep, the
+// single-evaluation engine path, the serve sweep handler and coordinator
+// merge path, and the fleet routing/retry machinery whose decisions feed the
+// merge order. Functions can also be marked in source with a //lint:detroot
+// doc-comment directive; the two sets are unioned.
+var DeterministicRoots = map[string]bool{
+	"(*preexec.Sweep).Run":                 true,
+	"(*preexec.Sweep).Plan":                true,
+	"(*preexec.Engine).Evaluate":           true,
+	"(*preexec/serve.Server).handleSweep":  true,
+	"(*preexec/serve.coordinator).sweep":   true,
+	"(*preexec/internal/fleet.Pool).Order": true,
+	"preexec/internal/fleet.Do":            true,
+}
+
+// detrootDirective marks a function declaration as an additional detflow
+// root when it appears in the declaration's doc comment.
+const detrootDirective = "//lint:detroot"
+
+func runDetFlow(pass *analysis.ModulePass) (any, error) {
+	g := graphFor(pass)
+
+	// Roots: the built-in table plus source-marked declarations, in
+	// deterministic (source) order.
+	var roots []*types.Func
+	for _, n := range g.NodesInOrder() {
+		if DeterministicRoots[n.Func.FullName()] || hasDetrootDirective(n) {
+			roots = append(roots, n.Func)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	visited, parents := g.ReachableFrom(roots)
+
+	// Walk every reachable function (deterministic order) and report sinks:
+	// edge sinks (calls to wall-clock / global-rand functions) and body
+	// sinks (order-leaking map iteration).
+	reported := map[string]bool{} // dedupe key: position + message
+	for _, n := range g.NodesInOrder() {
+		if !visited[n.Func] {
+			continue
+		}
+		chain := chainString(parents, n.Func)
+		for _, e := range n.Out {
+			if sink := sinkName(e.Callee); sink != "" {
+				key := fmt.Sprintf("%d|%s", e.Pos, sink)
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				pass.Reportf(e.Pos,
+					"%s reached from deterministic root via %s -> %s; replays of the pinned API surface must stay bit-identical",
+					sink, chain, sink)
+			}
+		}
+		for _, leak := range bodyOrderLeaks(n) {
+			key := fmt.Sprintf("%d|leak", leak.Pos)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			pass.Reportf(leak.Pos, "%s (reached from deterministic root via %s)", leak.Message, chain)
+		}
+	}
+	return nil, nil
+}
+
+// graphFor builds (once per driver run) the whole-program call graph.
+func graphFor(pass *analysis.ModulePass) *callgraph.Graph {
+	return pass.Shared("callgraph", func() any {
+		return callgraph.Build(pass.Fset, pass.Packages)
+	}).(*callgraph.Graph)
+}
+
+// hasDetrootDirective reports whether n's declaration doc comment carries
+// //lint:detroot.
+func hasDetrootDirective(n *callgraph.Node) bool {
+	if n.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range n.Decl.Doc.List {
+		if strings.HasPrefix(c.Text, detrootDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// sinkName classifies callee as a determinism sink, returning a display name
+// ("" = not a sink): time.Now, or a top-level math/rand draw from the
+// process-seeded global source (constructors of independent sources are
+// fine, as are methods on a *rand.Rand).
+func sinkName(callee *types.Func) string {
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	pkg := callee.Pkg().Path()
+	if pkg == "time" && callee.Name() == "Now" && callee.Type().(*types.Signature).Recv() == nil {
+		return "time.Now"
+	}
+	if (pkg == "math/rand" || pkg == "math/rand/v2") && callee.Type().(*types.Signature).Recv() == nil {
+		switch callee.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8":
+			return ""
+		}
+		return "global " + pkg + "." + callee.Name()
+	}
+	return ""
+}
+
+// bodyOrderLeaks runs the determinism analyzer's map-order-leak scan over
+// every function body lexically inside n's declaration (the declared body
+// plus nested literals, each scanned shallow).
+func bodyOrderLeaks(n *callgraph.Node) []orderLeak {
+	var leaks []orderLeak
+	walkFuncs(n.Decl, func(_ *ast.FuncType, body *ast.BlockStmt) {
+		leaks = append(leaks, mapOrderLeaks(n.Unit.Info, body)...)
+	})
+	return leaks
+}
+
+// chainString renders the discovery chain root → … → fn compactly, using
+// package-qualified names with the module prefix elided for readability.
+func chainString(parents map[*types.Func]callgraph.Edge, fn *types.Func) string {
+	chain := callgraph.Chain(parents, fn)
+	parts := make([]string, len(chain))
+	for i, f := range chain {
+		parts[i] = shortFuncName(f)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// shortFuncName renders f with only the last element of its import path
+// ("(*serve.Server).handleSweep", "fleet.Do"), matching how the repo's
+// diagnostics name functions.
+func shortFuncName(f *types.Func) string {
+	name := f.FullName()
+	if pkg := f.Pkg(); pkg != nil {
+		name = strings.Replace(name, pkg.Path(), path.Base(pkg.Path()), 1)
+	}
+	return name
+}

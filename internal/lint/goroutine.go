@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"preexec/internal/lint/analysis"
+	"preexec/internal/lint/callgraph"
+)
+
+// Goroutine enforces the spawn discipline the serve/fleet layers rely on:
+// every `go` statement must carry a provable join or termination bound, so a
+// refactor cannot silently turn a scoped worker into a leak that outlives
+// its request or Server.Close. Three disciplines are recognized:
+//
+//   - WaitGroup join: the spawned body itself calls (*sync.WaitGroup).Done
+//     (typically deferred) — the ParallelEach worker shape.
+//   - Done-channel join: the spawned body closes or sends on a channel — the
+//     coordinator probe (`defer close(done)`) and result-delivery
+//     (`errc <- run()`) shapes.
+//   - Context bound: the spawned function transitively reaches a function
+//     that consults a context.Context (Done/Err/Deadline) — the
+//     ProbeLoop-style ctx-bounded loop, found through the whole-program call
+//     graph so the loop may live any number of calls (and packages) away.
+//
+// The join disciplines are deliberately local (the spawned body itself must
+// exhibit them): a WaitGroup.Done buried deep in a callee is usually some
+// other pool's internal bookkeeping, not a join the spawner can wait on.
+// The context bound is deliberately transitive: a termination bound
+// legitimately propagates through call chains.
+var Goroutine = &analysis.Analyzer{
+	Name: "goroutine",
+	Doc: "flags fire-and-forget go statements: every spawn needs a WaitGroup " +
+		"join, a done-channel close/send, or a reachable context-bounded " +
+		"termination",
+	RunModule: runGoroutine,
+}
+
+func runGoroutine(pass *analysis.ModulePass) (any, error) {
+	g := graphFor(pass)
+	for _, u := range pass.Packages {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !spawnIsDisciplined(g, u.Info, gs) {
+					pass.Reportf(gs.Pos(),
+						"fire-and-forget goroutine: no WaitGroup.Done, no done-channel close/send in the spawned body, and no reachable context-bounded termination; join it or bound it with a context so it cannot outlive its owner")
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// spawnIsDisciplined checks the go statement's spawned function for one of
+// the three accepted disciplines.
+func spawnIsDisciplined(g *callgraph.Graph, info *types.Info, gs *ast.GoStmt) bool {
+	// Entry bodies: the spawned literal's body, or the named callee's body.
+	// ctx-bounded evidence additionally searches everything reachable from
+	// the entry.
+	var entryBodies []*ast.BlockStmt
+	var entryFuncs []*types.Func
+
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		entryBodies = append(entryBodies, fun.Body)
+		// Functions the literal calls or references are reachable entries
+		// for the transitive context bound.
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if f, ok := info.Uses[id].(*types.Func); ok {
+					entryFuncs = append(entryFuncs, f)
+				}
+			}
+			return true
+		})
+	default:
+		if f := funcObj(info, gs.Call); f != nil {
+			entryFuncs = append(entryFuncs, f)
+			if n := g.Lookup(f); n != nil {
+				entryBodies = append(entryBodies, n.Decl.Body)
+			}
+		} else {
+			// A spawn through a function value the graph cannot resolve:
+			// nothing provable. Flag it; a justified //lint:ignore documents
+			// the contract if one exists.
+			return false
+		}
+	}
+
+	for _, body := range entryBodies {
+		if bodyJoins(info, body) {
+			return true
+		}
+	}
+
+	// Transitive context bound over the call graph.
+	visited, _ := g.ReachableFrom(entryFuncs)
+	for _, body := range entryBodies {
+		if consultsContext(info, body) {
+			return true
+		}
+	}
+	for f := range visited {
+		n := g.Lookup(f)
+		if n == nil {
+			continue
+		}
+		if consultsContext(n.Unit.Info, n.Decl.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyJoins reports a local join discipline in the spawned body: a call to
+// (*sync.WaitGroup).Done, a close of a channel, or a channel send. Nested
+// literals are included — a deferred cleanup closure joins on the spawned
+// goroutine's exit just the same.
+func bodyJoins(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if f := funcObj(info, stmt); f != nil {
+				if f.Name() == "Done" && recvIsWaitGroup(f) {
+					found = true
+				}
+			}
+			if id, ok := ast.Unparen(stmt.Fun).(*ast.Ident); ok && isBuiltin(info, id, "close") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// recvIsWaitGroup reports whether f is a method on sync.WaitGroup.
+func recvIsWaitGroup(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedFrom(sig.Recv().Type(), "sync", "WaitGroup")
+}
+
+// consultsContext reports whether body calls a context.Context method that
+// observes cancellation (Done, Err, Deadline) — directly or on a derived
+// variable, since the method object is the same either way.
+func consultsContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil || f.Pkg().Path() != "context" {
+			return true
+		}
+		switch f.Name() {
+		case "Done", "Err", "Deadline":
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -31,7 +31,9 @@ import (
 	"preexec/internal/lint/analysis"
 )
 
-// Analyzers returns the full preexeclint suite in reporting order.
+// Analyzers returns the full preexeclint suite in reporting order: the five
+// per-package analyzers followed by the three whole-program analyzers
+// (Analyzer.RunModule set) that need every package at once.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Determinism,
@@ -39,6 +41,9 @@ func Analyzers() []*analysis.Analyzer {
 		LockScope,
 		ErrWrap,
 		ConfigZero,
+		DetFlow,
+		Goroutine,
+		AllocBudget,
 	}
 }
 
@@ -204,11 +209,11 @@ func usesObject(info *types.Info, node ast.Node, objs map[types.Object]bool) boo
 	return found
 }
 
-// walkFuncs visits every function body in the file — declarations and
+// walkFuncs visits every function body under root — declarations and
 // literals — calling fn with the enclosing *ast.FuncType and body. Nested
 // literals are visited in their own right.
-func walkFuncs(f *ast.File, fn func(ft *ast.FuncType, body *ast.BlockStmt)) {
-	ast.Inspect(f, func(n ast.Node) bool {
+func walkFuncs(root ast.Node, fn func(ft *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		switch d := n.(type) {
 		case *ast.FuncDecl:
 			if d.Body != nil {

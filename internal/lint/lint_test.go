@@ -31,10 +31,54 @@ func TestConfigZero(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.ConfigZero, "configzero")
 }
 
+// TestDetFlow runs the whole-program determinism analyzer over a fixture
+// closure: sinks report only when reachable from a //lint:detroot-marked
+// root, diagnostics carry the discovery chain, and reachability follows a
+// function value handed across the package boundary (Reference edge).
+func TestDetFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.DetFlow, "detflow")
+}
+
+// TestGoroutine checks the spawn-discipline analyzer against the repo's
+// accepted spawn shapes (WaitGroup join, done-channel close/send, direct and
+// transitive context bounds) and three fire-and-forget variants.
+func TestGoroutine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Goroutine, "goroutine")
+}
+
 // TestSuppression proves a justified //lint:ignore silences exactly the
 // directive's line while identical unsuppressed code stays flagged.
 func TestSuppression(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.ErrWrap, "suppress")
+}
+
+// TestFilterMultiAnalyzer: one comma-separated directive suppresses findings
+// from every analyzer it names on its line, while a third analyzer's finding
+// on the same line survives.
+func TestFilterMultiAnalyzer(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//lint:ignore errwrap,lockscope callback is contractually serialized and compared by identity.
+	_ = 1 + 1
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	diags := []analysis.Diagnostic{
+		{Pos: tf.LineStart(5), Message: "identity comparison", Category: "errwrap"},
+		{Pos: tf.LineStart(5), Message: "lock held across blocking call", Category: "lockscope"},
+		{Pos: tf.LineStart(5), Message: "select misses ctx.Done", Category: "ctxloop"},
+	}
+
+	out := lint.Filter(fset, lint.Suppressions(fset, []*ast.File{f}), diags)
+	if len(out) != 1 || out[0].Category != "ctxloop" {
+		t.Fatalf("got %v, want only the ctxloop finding to survive the errwrap,lockscope directive", out)
+	}
 }
 
 // TestFilterRequiresJustification checks the driver-level rule that a bare

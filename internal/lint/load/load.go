@@ -137,9 +137,15 @@ func Check(fset *token.FileSet, path, dir string, fileNames []string, imp types.
 
 // Module loads every in-module package matching patterns (e.g. "./...")
 // from the module rooted at (or containing) dir, type-checked and ready for
-// analysis. Standard-library dependencies are consumed as export data, so
-// only the analyzed packages themselves are parsed. Packages are returned
-// in import-path order.
+// analysis. Standard-library dependencies are consumed as export data;
+// in-module dependencies resolve to the source-checked packages themselves
+// (go list -deps emits dependencies first, so checking in list order is
+// always safe). That keeps types.Object identity canonical across the whole
+// load — a requirement for the interprocedural analyzers, whose call graph
+// is keyed by *types.Func: the object a caller's Uses map holds for an
+// imported function must be the very object the callee package's Defs map
+// holds, or every cross-package edge dead-ends on an export-data twin.
+// Packages are returned in import-path order.
 func Module(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -163,17 +169,35 @@ func Module(dir string, patterns ...string) ([]*Package, *token.FileSet, error) 
 			targets = append(targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", idx.Lookup)
+	imp := &moduleImporter{
+		base:  importer.ForCompiler(fset, "gc", idx.Lookup),
+		local: make(map[string]*types.Package, len(targets)),
+	}
 	out := make([]*Package, 0, len(targets))
 	for _, t := range targets {
 		pkg, err := Check(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
 		if err != nil {
 			return nil, nil, err
 		}
+		imp.local[t.ImportPath] = pkg.Types
 		out = append(out, pkg)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, fset, nil
+}
+
+// moduleImporter resolves already-source-checked module packages by
+// identity and everything else (the stdlib) from export data.
+type moduleImporter struct {
+	base  types.Importer
+	local map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	return m.base.Import(path)
 }

@@ -1,0 +1,9 @@
+// Package detflowdep is a fixture dependency: a fleet-style helper that
+// routes work through a function value, so reachability must cross the
+// package boundary via a Reference edge.
+package detflowdep
+
+// Run invokes the supplied callback.
+func Run(f func()) {
+	f()
+}

@@ -1,0 +1,97 @@
+// Package goroutine exercises the spawn-discipline analyzer: fire-and-forget
+// spawns are flagged; WaitGroup joins, done-channel close/send, and
+// (transitively reachable) context-bounded loops are accepted.
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak is the classic fire-and-forget: no join, no bound.
+func Leak() {
+	go func() { // want `fire-and-forget goroutine`
+		for {
+			step()
+		}
+	}()
+}
+
+// LeakNamed spawns a named worker with no discipline anywhere in its call
+// closure.
+func LeakNamed() {
+	go spin() // want `fire-and-forget goroutine`
+}
+
+func spin() {
+	for {
+		step()
+	}
+}
+
+// LeakValue spawns through a function value the call graph cannot resolve:
+// nothing is provable, so it is flagged.
+func LeakValue(f func()) {
+	go f() // want `fire-and-forget goroutine`
+}
+
+// WaitGroupJoin is the ParallelEach worker shape.
+func WaitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+	wg.Wait()
+}
+
+// DoneChannel is the coordinator probe shape.
+func DoneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		step()
+	}()
+	return done
+}
+
+// ResultSend delivers its result over a channel — the preexecd
+// ListenAndServe shape.
+func ResultSend() error {
+	errc := make(chan error, 1)
+	go func() { errc <- work() }()
+	return <-errc
+}
+
+// CtxDirect consults the context in the spawned literal itself.
+func CtxDirect(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// CtxTransitive reaches the ctx-bounded loop two calls away — the
+// ProbeLoop shape, provable only through the whole-program call graph.
+func CtxTransitive(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) {
+	poll(ctx)
+}
+
+func poll(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			step()
+		}
+	}
+}
+
+func step() {}
+
+func work() error { return nil }

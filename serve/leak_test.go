@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCloseJoinsProbeLoop pins the coordinator's goroutine lifecycle — the
+// dynamic twin of the static goroutine-analyzer proof: Server.Close must
+// block until the health-probe goroutine has exited (not merely signal it),
+// a second Close must be a safe no-op, and tearing the coordinator down must
+// return the process to its pre-coordinator goroutine count.
+func TestCloseJoinsProbeLoop(t *testing.T) {
+	backend := httptest.NewServer(New(WithWorkers(1)))
+	defer backend.Close()
+
+	before := runtime.NumGoroutine()
+	s := New(WithBackends(backend.URL),
+		WithFleetConfig(FleetConfig{ProbeInterval: time.Millisecond}))
+
+	// The probe loop is live before Close.
+	select {
+	case <-s.coord.probeDone:
+		t.Fatal("probe goroutine exited before Close")
+	default:
+	}
+
+	// Let it complete at least one probe round against the real backend.
+	time.Sleep(5 * time.Millisecond)
+
+	s.Close()
+	// Close's contract is a join, not a signal: by the time it returns the
+	// goroutine must be gone.
+	select {
+	case <-s.coord.probeDone:
+	default:
+		t.Fatal("Close returned but the probe goroutine is still running")
+	}
+	s.Close() // idempotent
+
+	// No leak: once the backend's keep-alive connections are torn down, the
+	// goroutine count returns to the pre-coordinator baseline.
+	backend.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines before the coordinator, %d after Close",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
