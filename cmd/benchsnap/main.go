@@ -30,6 +30,7 @@ import (
 
 	"preexec"
 	"preexec/internal/advantage"
+	"preexec/internal/obs"
 	"preexec/internal/selector"
 	"preexec/internal/slice"
 	"preexec/internal/timing"
@@ -151,6 +152,31 @@ func synthBenches() (gen, asm func(b *testing.B)) {
 	return gen, asm
 }
 
+// obsDisabledBench returns BenchmarkObsDisabledOverhead: the nil-receiver
+// no-op path of every obs instrument plus a disabled StartSpan. The baseline
+// pins it at zero allocs/op — the package's "disabled instrumentation is
+// free" contract — so any accidental allocation on the disabled hot path
+// fails the -check gate.
+func obsDisabledBench() func(b *testing.B) {
+	var (
+		c  *obs.Counter
+		g  *obs.Gauge
+		h  *obs.Histogram
+		tr *obs.Tracer
+	)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+			g.Set(int64(i))
+			h.Observe(time.Duration(i))
+			sp := tr.StartSpan("", "", "x")
+			sp.SetAttr("k", "v")
+			sp.End()
+		}
+	}
+}
+
 // benchName converts a workload name to its benchmark identifier
 // (vpr.p -> BenchmarkSimVprP).
 func benchName(w string) string {
@@ -215,6 +241,7 @@ func measure() (map[string]Result, error) {
 	}{
 		{"BenchmarkSynthGenerate", gen},
 		{"BenchmarkAssemble", asm},
+		{"BenchmarkObsDisabledOverhead", obsDisabledBench()},
 	} {
 		r := testing.Benchmark(sb.fn)
 		out[sb.name] = Result{NsOp: float64(r.NsPerOp()), BOp: r.AllocedBytesPerOp(), AllocsOp: r.AllocsPerOp()}

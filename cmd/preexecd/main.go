@@ -6,6 +6,7 @@
 //
 //	preexecd [-addr host:port] [-workers N] [-cachelimit N]
 //	         [-backends host1:port,host2:port,...]
+//	         [-log text|json] [-pprof host:port]
 //
 // Endpoints (see the README "Serving" section for request formats):
 //
@@ -14,6 +15,13 @@
 //	POST /v1/evaluate    one benchmark x one configuration
 //	POST /v1/sweep       grid evaluation (JSON/CSV, optional progress stream)
 //	GET  /v1/stats       cache / request / coalescing / fleet counters
+//	GET  /v1/spans       one trace's recorded spans as NDJSON
+//	GET  /metrics        Prometheus text exposition of the same counters
+//
+// -log=json switches the request log to one JSON object per line (method,
+// path, status, duration, trace ID). -pprof mounts net/http/pprof on its own
+// loopback-only listener, kept off the service address so profiling is never
+// exposed where the API is.
 //
 // With -backends the process runs as a sweep coordinator: /v1/sweep cells
 // are consistent-hashed across the listed backend preexecds, retried with
@@ -31,10 +39,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +53,7 @@ import (
 	"time"
 
 	"preexec/internal/fleet"
+	"preexec/internal/obs"
 	"preexec/serve"
 )
 
@@ -50,6 +62,9 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:8321", "listen address")
 		workers    = flag.Int("workers", 0, "server-wide simulation concurrency (0 = all cores)")
 		cachelimit = flag.Int("cachelimit", 0, "stage cache LRU bound, entries per stage (0 = unlimited)")
+
+		logFormat = flag.String("log", "text", "request log format: text or json")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty = disabled")
 
 		backends       = flag.String("backends", "", "comma-separated backend preexecd addresses; turns this process into a sweep coordinator")
 		probeInterval  = flag.Duration("probe-interval", 0, "backend health-probe interval (0 = default 2s, negative = disabled)")
@@ -60,6 +75,14 @@ func main() {
 	flag.Parse()
 	log.SetPrefix("preexecd: ")
 	log.SetFlags(log.LstdFlags)
+	jsonLog := false
+	switch *logFormat {
+	case "text":
+	case "json":
+		jsonLog = true
+	default:
+		log.Fatalf("-log=%q, want text or json", *logFormat)
+	}
 
 	opts := []serve.Option{serve.WithWorkers(*workers), serve.WithCacheLimit(*cachelimit)}
 	if *backends != "" {
@@ -91,14 +114,26 @@ func main() {
 	defer cancelRequests()
 	httpSrv := &http.Server{
 		Addr:        *addr,
-		Handler:     logRequests(srv),
+		Handler:     logRequests(srv, jsonLog),
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
+	if *pprofAddr != "" {
+		ln, err := pprofListener(*pprofAddr)
+		if err != nil {
+			log.Fatalf("-pprof: %v", err)
+		}
+		pprofSrv := &http.Server{Handler: pprofMux()}
+		defer pprofSrv.Close()
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+			errc <- pprofSrv.Serve(ln)
+		}()
+	}
 	go func() {
 		log.Printf("listening on http://%s (workers=%d, cachelimit=%d)", *addr, srv.Workers(), *cachelimit)
 		errc <- httpSrv.ListenAndServe()
@@ -147,7 +182,7 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
-func logRequests(next http.Handler) http.Handler {
+func logRequests(next http.Handler, jsonLog bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -156,6 +191,53 @@ func logRequests(next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		log.Printf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start).Round(time.Millisecond)
+		// The serve layer stamps every response with its trace ID, so the
+		// log line links straight to GET /v1/spans?trace=<id>.
+		trace := sw.Header().Get(obs.TraceHeader)
+		if !jsonLog {
+			log.Printf("%s %s %d %s trace=%s", r.Method, r.URL.Path, status, elapsed, trace)
+			return
+		}
+		line, err := json.Marshal(struct {
+			Method   string `json:"method"`
+			Path     string `json:"path"`
+			Status   int    `json:"status"`
+			Duration string `json:"duration"`
+			Trace    string `json:"trace,omitempty"`
+		}{r.Method, r.URL.Path, status, elapsed.String(), trace})
+		if err != nil {
+			log.Printf("%s %s %d %s trace=%s (json log: %v)", r.Method, r.URL.Path, status, elapsed, trace, err)
+			return
+		}
+		log.Printf("%s", line)
 	})
+}
+
+// pprofListener opens the profiling listener, insisting on a loopback host:
+// pprof exposes heap contents and CPU control, so it must never bind a
+// routable interface by accident.
+func pprofListener(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("address %q: %w", addr, err)
+	}
+	ip := net.ParseIP(host)
+	if host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return nil, fmt.Errorf("address %q is not loopback; pprof serves process internals and stays local-only", addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// pprofMux mounts the net/http/pprof handlers on a dedicated mux — the
+// package's init-time registration targets http.DefaultServeMux, which the
+// service handler never serves.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

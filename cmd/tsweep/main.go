@@ -11,6 +11,7 @@
 //	       [-region list] [-memlat list] [-selmemlat list]
 //	       [-width list] [-selwidth list]
 //	       [-workers N] [-json|-csv] [-cache on|off] [-progress]
+//	       [-trace file.ndjson]
 //
 // Each grid flag takes a comma-separated value list; the grid is the cross
 // product of every flag given (an empty grid evaluates the single "base"
@@ -23,6 +24,12 @@
 // -cache=off disables stage memoization (every cell recomputes everything);
 // results are bit-for-bit identical either way. The cache's run/hit
 // counters are reported on stderr.
+//
+// -trace records the sweep's stage executions as spans — one "sweep" root
+// plus one "stage:<name>" span per base run, profile, selection, and
+// simulation actually executed (cache hits record nothing) — and writes
+// them NDJSON to the given file. Tracing never touches stdout: the sweep
+// output is byte-identical with and without it.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"strings"
 
 	"preexec"
+	"preexec/internal/obs"
 	"preexec/internal/sweepio"
 )
 
@@ -91,6 +99,7 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "emit per-cell rows as CSV")
 		cacheArg = flag.String("cache", "on", "stage memoization: on or off")
 		progress = flag.Bool("progress", false, "stream per-cell completion to stderr")
+		traceOut = flag.String("trace", "", "write stage spans as NDJSON to this file")
 
 		scopes     = flag.String("scope", "", "slicing scopes (comma-separated)")
 		maxlens    = flag.String("maxlen", "", "maximum p-thread lengths")
@@ -154,6 +163,22 @@ func main() {
 	defer stop()
 
 	sweep := &preexec.Sweep{Workers: *workers, NoCache: noCache}
+	var (
+		tracer  *obs.Tracer
+		traceID string
+		rootEnd func()
+	)
+	if *traceOut != "" {
+		// Span IDs are identity, not randomness; the fixed seed keeps two
+		// runs of the same grid producing the same span graph.
+		tracer = obs.NewTracer(1, nil)
+		traceID = tracer.NewTraceID()
+		root := tracer.StartSpan(traceID, "", "sweep")
+		rootEnd = root.End
+		sweep.Engine = preexec.New(preexec.WithStageObserver(
+			&obs.SpanStages{Tracer: tracer, Trace: traceID, Parent: root.SpanID()},
+		))
+	}
 	if *progress {
 		sweep.Progress = func(ev preexec.SuiteEvent) {
 			status := "ok"
@@ -164,6 +189,15 @@ func main() {
 		}
 	}
 	res, err := sweep.Run(ctx, benches, points)
+	if tracer != nil {
+		rootEnd()
+		if werr := writeTrace(*traceOut, tracer.Collect(traceID)); werr != nil {
+			fmt.Fprintln(os.Stderr, "tsweep: -trace:", werr)
+			if err == nil {
+				err = werr
+			}
+		}
+	}
 	if res != nil {
 		if emitErr := emit(res, *jsonOut, *csvOut); emitErr != nil && err == nil {
 			err = emitErr
@@ -232,4 +266,17 @@ func gridPoints(base preexec.Config, axes []axis) ([]preexec.ConfigPoint, error)
 
 func emit(res *preexec.SweepResult, jsonOut, csvOut bool) error {
 	return sweepio.Emit(os.Stdout, res, sweepio.Options{JSON: jsonOut, CSV: csvOut, Point: true})
+}
+
+// writeTrace dumps the recorded spans NDJSON to path.
+func writeTrace(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteNDJSON(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -52,6 +52,21 @@ func (timingSimulator) Simulate(ctx context.Context, p *Program, pts []*PThread,
 	return timing.RunContext(ctx, p, pts, cfg)
 }
 
+// StageObserver receives a callback around every pipeline stage execution:
+// StageStart is called when a stage begins and the func it returns when the
+// stage ends. Stages are named "base" (the unassisted timing run),
+// "profile", "select", and "sim" (the p-thread timing run); bench is the
+// program under evaluation ("" where no single program applies). With a
+// stage cache attached, only real executions are observed — cache hits
+// never reach the observer, so observed latencies are true stage costs.
+//
+// Observers exist for instrumentation (the serve package feeds stage
+// latency histograms and span traces from this hook) and must not influence
+// results: the engine calls them for their side effects only.
+type StageObserver interface {
+	StageStart(stage, bench string) func()
+}
+
 // ReferenceStages returns the built-in reference stage backends — the ones
 // New installs by default. They exist for callers that wrap stages with
 // cross-cutting behaviour (the serve package gates the expensive stages
@@ -71,6 +86,8 @@ type Engine struct {
 	// cache, if non-nil, memoizes base timing runs and profiles across
 	// engines sharing it (see StageCache and Sweep).
 	cache *StageCache
+	// observer, if non-nil, is called around every stage execution.
+	observer StageObserver
 }
 
 // Option customizes an Engine.
@@ -108,6 +125,12 @@ func WithSimulator(s Simulator) Option { return func(e *Engine) { e.simulator = 
 // other's backend results.
 func WithStageCache(c *StageCache) Option { return func(e *Engine) { e.cache = c } }
 
+// WithStageObserver installs an observer called around every stage
+// execution (nil = none, the default — the hot path then pays one nil check
+// and nothing else). Sweep-built cell engines inherit their base engine's
+// observer, so one observer sees a whole sweep's stage work.
+func WithStageObserver(o StageObserver) Option { return func(e *Engine) { e.observer = o } }
+
 // New builds an Engine over the paper's base configuration (DefaultConfig)
 // and the reference stage implementations, then applies the options in
 // order.
@@ -136,28 +159,50 @@ func (e *Engine) stages() core.Stages {
 			return e.profile(ctx, p, opts)
 		},
 		Select: func(regions []slice.Region, opts selector.Options, regioned bool) selector.Result {
+			if e.observer != nil {
+				defer e.observer.StageStart("select", "")()
+			}
 			return e.selector.Select(regions, opts, regioned)
 		},
 		Simulate: func(ctx context.Context, p *program.Program, pts []*pthread.PThread, cfg timing.Config) (timing.Stats, error) {
 			if e.cache != nil && pts == nil && cfg.Mode == timing.ModeBase {
 				return e.cache.baseStats(ctx, p, cfg, func() (Stats, error) {
-					return e.simulator.Simulate(ctx, p, nil, cfg)
+					return e.simulate(ctx, p, nil, cfg, "base")
 				})
 			}
-			return e.simulator.Simulate(ctx, p, pts, cfg)
+			stage := "sim"
+			if pts == nil && cfg.Mode == timing.ModeBase {
+				stage = "base"
+			}
+			return e.simulate(ctx, p, pts, cfg, stage)
 		},
 	}
 }
 
-// profile runs the profiling backend through the stage cache when one is
-// attached.
-func (e *Engine) profile(ctx context.Context, p *Program, opts ProfileOptions) ([]ProfileRegion, error) {
-	if e.cache != nil {
-		return e.cache.regions(ctx, p, opts, func() ([]ProfileRegion, error) {
-			return e.profiler.Profile(ctx, p, opts)
-		})
+// simulate runs the timing backend under the stage observer. The observer
+// wraps only actual executions: the cached base path reaches here from
+// inside the cache's compute closure, so cache hits are never observed.
+func (e *Engine) simulate(ctx context.Context, p *Program, pts []*PThread, cfg TimingConfig, stage string) (Stats, error) {
+	if e.observer != nil {
+		defer e.observer.StageStart(stage, p.Name)()
 	}
-	return e.profiler.Profile(ctx, p, opts)
+	return e.simulator.Simulate(ctx, p, pts, cfg)
+}
+
+// profile runs the profiling backend through the stage cache when one is
+// attached. The stage observer wraps the compute closure, not the cache
+// lookup, so only real profile executions are timed.
+func (e *Engine) profile(ctx context.Context, p *Program, opts ProfileOptions) ([]ProfileRegion, error) {
+	compute := func() ([]ProfileRegion, error) {
+		if e.observer != nil {
+			defer e.observer.StageStart("profile", p.Name)()
+		}
+		return e.profiler.Profile(ctx, p, opts)
+	}
+	if e.cache != nil {
+		return e.cache.regions(ctx, p, opts, compute)
+	}
+	return compute()
 }
 
 // Evaluate runs the full pipeline on one program: base timing run,

@@ -20,8 +20,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"preexec/internal/obs"
 )
 
 // ErrNoBackends reports that every backend was ejected when an attempt
@@ -117,8 +118,11 @@ type Pool struct {
 	rng      *rand.Rand // jitter source, guarded by mu
 	backends []backendState
 
-	retries   atomic.Int64
-	failovers atomic.Int64
+	// The fleet-wide and per-backend counters are obs.Counters so that a
+	// metrics registry can render the very objects Stats and Snapshot read —
+	// one source of truth, no parallel bookkeeping to drift.
+	retries   obs.Counter
+	failovers obs.Counter
 }
 
 type backendState struct {
@@ -126,10 +130,10 @@ type backendState struct {
 	ejected bool
 	load    int // last probed load (queue depth + in-flight), failover preference
 
-	failures     int64
-	successes    int64
-	ejections    int64
-	readmissions int64
+	failures     obs.Counter
+	successes    obs.Counter
+	ejections    obs.Counter
+	readmissions obs.Counter
 }
 
 // BackendStatus is one backend's health snapshot (the /v1/stats fleet
@@ -179,7 +183,7 @@ func (p *Pool) Success(i int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	b := &p.backends[i]
-	b.successes++
+	b.successes.Inc()
 	b.consec = 0
 }
 
@@ -189,11 +193,11 @@ func (p *Pool) Failure(i int) (ejected bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	b := &p.backends[i]
-	b.failures++
+	b.failures.Inc()
 	b.consec++
 	if !b.ejected && b.consec >= p.cfg.EjectAfter {
 		b.ejected = true
-		b.ejections++
+		b.ejections.Inc()
 		return true
 	}
 	return false
@@ -208,7 +212,7 @@ func (p *Pool) Readmit(i int) {
 	if b.ejected {
 		b.ejected = false
 		b.consec = 0
-		b.readmissions++
+		b.readmissions.Inc()
 	}
 }
 
@@ -221,7 +225,21 @@ func (p *Pool) SetLoad(i, load int) {
 
 // Stats returns the fleet-wide retry and failover counters.
 func (p *Pool) Stats() (retries, failovers int64) {
-	return p.retries.Load(), p.failovers.Load()
+	return p.retries.Value(), p.failovers.Value()
+}
+
+// Counters exposes the pool's fleet-wide counters for registration in a
+// metrics registry: the registry then renders the same objects Stats
+// reads, so the two views cannot drift.
+func (p *Pool) Counters() (retries, failovers *obs.Counter) {
+	return &p.retries, &p.failovers
+}
+
+// BackendCounters exposes backend i's health counters for metric
+// registration, in the same single-source spirit as Counters.
+func (p *Pool) BackendCounters(i int) (failures, successes, ejections, readmissions *obs.Counter) {
+	b := &p.backends[i]
+	return &b.failures, &b.successes, &b.ejections, &b.readmissions
 }
 
 // Snapshot returns every backend's status, in pool order.
@@ -236,10 +254,10 @@ func (p *Pool) Snapshot() []BackendStatus {
 			Live:                !b.ejected,
 			ConsecutiveFailures: b.consec,
 			Load:                b.load,
-			Failures:            b.failures,
-			Successes:           b.successes,
-			Ejections:           b.ejections,
-			Readmissions:        b.readmissions,
+			Failures:            b.failures.Value(),
+			Successes:           b.successes.Value(),
+			Ejections:           b.ejections.Value(),
+			Readmissions:        b.readmissions.Value(),
 		}
 	}
 	return out

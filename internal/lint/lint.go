@@ -60,11 +60,18 @@ var DeterministicScope = map[string][]string{
 	"preexec/internal/selector":  nil,
 	"preexec/internal/advantage": nil,
 	"preexec/internal/fleet":     nil,
-	"preexec/internal/pthread":   nil,
-	"preexec/internal/stats":     nil,
-	"preexec/internal/sweepio":   nil,
-	"preexec/internal/workload":  nil,
-	"preexec/synth":              nil,
+	// internal/obs sits inside deterministic call paths (fleet counters,
+	// the engine's stage observer), so its rendering and ID generation are
+	// in scope. clock.go is deliberately excluded: it is the one sanctioned
+	// wall-clock seam, carrying its own justified detflow suppression at
+	// the single time.Now call — scoping it here would double-report the
+	// same, already-audited read.
+	"preexec/internal/obs":      {"obs.go", "metrics.go", "trace.go"},
+	"preexec/internal/pthread":  nil,
+	"preexec/internal/stats":    nil,
+	"preexec/internal/sweepio":  nil,
+	"preexec/internal/workload": nil,
+	"preexec/synth":             nil,
 }
 
 // ignoreRe matches a suppression directive: analyzer name(s), then the

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter with an atomic hot path. A
+// nil *Counter is a valid, allocation-free no-op, so instrumented code never
+// branches on "is observability on" — it just calls the method. The zero
+// Counter is ready to use, which lets other packages embed counters by value
+// (fleet.Pool) and hand them to a Registry for rendering.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on a nil receiver).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. Nil and zero semantics match
+// Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value (no-op on a nil receiver).
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (no-op on a nil receiver).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the gauge's current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket latency histogram: observations land in the
+// first bucket whose upper bound is >= the value, with an implicit +Inf
+// overflow bucket. Buckets and sum use atomics, so Observe is lock-free; a
+// nil *Histogram is an allocation-free no-op.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds
+	counts []atomic.Int64  // len(bounds)+1; last is +Inf
+	sum    atomic.Int64    // nanoseconds
+	count  atomic.Int64
+}
+
+// LatencyBuckets are the default stage-latency bounds: 1ms to 30s on a
+// roughly 1-2.5-5 decade ladder, wide enough for a cold profile of a scaled
+// workload and fine enough to separate cache hits from real stage runs.
+var LatencyBuckets = []time.Duration{
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	return &Histogram{
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration (no-op on a nil receiver).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Snapshot returns per-bucket (non-cumulative) counts — the +Inf overflow
+// bucket last — plus the sum and total count. Nil receivers return empty.
+func (h *Histogram) Snapshot() (counts []int64, sum time.Duration, count int64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, time.Duration(h.sum.Load()), h.count.Load()
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketing pins the bucket-assignment rule: an observation
+// lands in the first bucket whose upper bound is >= the value, overflow in
+// +Inf.
+func TestHistogramBucketing(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	h := NewHistogram(bounds)
+	for _, d := range []time.Duration{
+		500 * time.Microsecond, // bucket 0
+		time.Millisecond,       // bucket 0 (le is inclusive)
+		time.Millisecond + 1,   // bucket 1
+		10 * time.Millisecond,  // bucket 1
+		99 * time.Millisecond,  // bucket 2
+		time.Second,            // +Inf
+	} {
+		h.Observe(d)
+	}
+	counts, sum, count := h.Snapshot()
+	want := []int64{2, 2, 1, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("snapshot has %d buckets, want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if count != 6 {
+		t.Errorf("count = %d, want 6", count)
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + time.Millisecond + 1 +
+		10*time.Millisecond + 99*time.Millisecond + time.Second
+	if sum != wantSum {
+		t.Errorf("sum = %v, want %v", sum, wantSum)
+	}
+}
+
+// TestHistogramRenderCumulative checks the Prometheus rendering: _bucket
+// lines are cumulative, le values are seconds, +Inf equals _count.
+func TestHistogramRenderCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "test.", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, line := range []string{
+		`d_seconds_bucket{le="0.001"} 1`,
+		`d_seconds_bucket{le="1"} 2`,
+		`d_seconds_bucket{le="+Inf"} 3`,
+		`d_seconds_count 3`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("rendering missing %q:\n%s", line, got)
+		}
+	}
+}
+
+// TestCounterConcurrent hammers one counter from many goroutines; run under
+// -race this doubles as the data-race check for the atomic hot path.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestNilReceivers exercises every nil-receiver no-op: disabled
+// instrumentation must be inert, not crash.
+func TestNilReceivers(t *testing.T) {
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if counts, _, n := h.Snapshot(); counts != nil || n != 0 {
+		t.Error("nil histogram has observations")
+	}
+	var tr *Tracer
+	if tr.NewTraceID() != "" {
+		t.Error("nil tracer minted an ID")
+	}
+	sp := tr.StartSpan("abc", "", "x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.SpanID() != "" {
+		t.Error("nil span has an ID")
+	}
+	tr.Import(Span{})
+	if tr.Collect("abc") != nil {
+		t.Error("nil tracer collected spans")
+	}
+	ss := &SpanStages{} // nil Tracer field
+	ss.StageStart("base", "b")()
+}
+
+// TestRegistryDeterministicRender checks two identically-built registries
+// render identical bytes, and that families sort by name while series keep
+// registration order.
+func TestRegistryDeterministicRender(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.CounterFunc("zzz_total", "last registered, first alphabetically... not.", func() int64 { return 3 })
+		c := r.Counter("aaa_total", "a counter.", Label{Key: "k", Value: "v2"})
+		c.Add(7)
+		r.RegisterCounter("aaa_total", "", &Counter{}, Label{Key: "k", Value: "v1"})
+		r.Gauge("mmm", "a gauge.").Set(-4)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("renders differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	got := a.String()
+	ai := strings.Index(got, "aaa_total")
+	mi := strings.Index(got, "mmm")
+	zi := strings.Index(got, "zzz_total")
+	if !(ai < mi && mi < zi) {
+		t.Errorf("families not sorted by name:\n%s", got)
+	}
+	if v2 := strings.Index(got, `k="v2"`); v2 < 0 || v2 > strings.Index(got, `k="v1"`) {
+		t.Errorf("series not in registration order:\n%s", got)
+	}
+	if !strings.Contains(got, `aaa_total{k="v2"} 7`) {
+		t.Errorf("counter value missing:\n%s", got)
+	}
+	if !strings.Contains(got, "mmm -4\n") {
+		t.Errorf("gauge value missing:\n%s", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "h.", Label{Key: "k", Value: "a\"b\\c\nd"})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `m_total{k="a\"b\\c\nd"} 0`; !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped label missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestTracerDeterministicIDs: same seed, same ID sequence — span identity
+// must never depend on the clock or process randomness.
+func TestTracerDeterministicIDs(t *testing.T) {
+	clock := FrozenClock(time.Unix(100, 0))
+	a, b := NewTracer(42, clock), NewTracer(42, clock)
+	for i := 0; i < 5; i++ {
+		if ia, ib := a.NewTraceID(), b.NewTraceID(); ia != ib {
+			t.Fatalf("ID %d: %s != %s", i, ia, ib)
+		}
+	}
+	if a.NewTraceID() == a.NewTraceID() {
+		t.Error("consecutive IDs collide")
+	}
+}
+
+func TestTracerSpansAndRing(t *testing.T) {
+	clock := FrozenClock(time.Unix(100, 0).Add(250 * time.Microsecond))
+	tr := NewTracer(1, clock)
+	tr.limit = 4
+	trace := tr.NewTraceID()
+	for i := 0; i < 6; i++ {
+		sp := tr.StartSpan(trace, "", "s")
+		sp.SetAttr("i", AttrInt(i))
+		sp.End()
+	}
+	got := tr.Collect(trace)
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d spans, want 4 (the limit)", len(got))
+	}
+	// Oldest two were overwritten; order is oldest-first.
+	for i, sp := range got {
+		if want := AttrInt(i + 2); sp.Attrs["i"] != want {
+			t.Errorf("span %d: attr i = %q, want %q", i, sp.Attrs["i"], want)
+		}
+		if sp.Trace != trace || sp.ID == "" || sp.StartUS != sp.EndUS || sp.StartUS != clock.Now().UnixMicro() {
+			t.Errorf("span %d malformed: %+v", i, sp)
+		}
+	}
+	if tr.Collect("ffff") != nil {
+		t.Error("collect of unknown trace returned spans")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Trace: "0a", ID: "0b", Name: "root", StartUS: 10, EndUS: 20},
+		{Trace: "0a", ID: "0c", Parent: "0b", Name: "child", Node: "http://b1",
+			StartUS: 12, EndUS: 18, Attrs: map[string]string{"bench": "mcf"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(strings.NewReader(buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round trip returned %d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		w, g := spans[i], got[i]
+		if g.Trace != w.Trace || g.ID != w.ID || g.Parent != w.Parent || g.Name != w.Name ||
+			g.Node != w.Node || g.StartUS != w.StartUS || g.EndUS != w.EndUS ||
+			g.Attrs["bench"] != w.Attrs["bench"] {
+			t.Errorf("span %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	cases := []struct {
+		in            string
+		trace, parent string
+	}{
+		{"0123456789abcdef", "0123456789abcdef", ""},
+		{"0123456789abcdef-fedcba9876543210", "0123456789abcdef", "fedcba9876543210"},
+		{"ABC", "ABC", ""},
+		{"", "", ""},
+		{"not hex!", "", ""},
+		{"abc-xyz", "", ""},
+		{"-abc", "", ""},
+		{strings.Repeat("a", 33), "", ""},
+		{"abc<script>", "", ""},
+	}
+	for _, c := range cases {
+		trace, parent := ParseTraceHeader(c.in)
+		if trace != c.trace || parent != c.parent {
+			t.Errorf("ParseTraceHeader(%q) = (%q, %q), want (%q, %q)", c.in, trace, parent, c.trace, c.parent)
+		}
+	}
+	if got := FormatTraceHeader("0a", "0b"); got != "0a-0b" {
+		t.Errorf("FormatTraceHeader = %q, want 0a-0b", got)
+	}
+	if got := FormatTraceHeader("0a", ""); got != "0a" {
+		t.Errorf("FormatTraceHeader without parent = %q, want 0a", got)
+	}
+	tr, parent := ParseTraceHeader(FormatTraceHeader("0123", "4567"))
+	if tr != "0123" || parent != "4567" {
+		t.Errorf("format/parse round trip = (%q, %q)", tr, parent)
+	}
+}
+
+func TestSpanStages(t *testing.T) {
+	tr := NewTracer(7, FrozenClock(time.Unix(5, 0)))
+	trace := tr.NewTraceID()
+	ss := &SpanStages{Tracer: tr, Trace: trace, Parent: "0123"}
+	end := ss.StageStart("base", "mcf")
+	end()
+	got := tr.Collect(trace)
+	if len(got) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(got))
+	}
+	sp := got[0]
+	if sp.Name != "stage:base" || sp.Parent != "0123" || sp.Attrs["bench"] != "mcf" || sp.EndUS == 0 {
+		t.Errorf("span = %+v", sp)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := WithTrace(t.Context(), TraceContext{Trace: "0a", Parent: "0b", Record: true})
+	if tc := TraceFrom(ctx); tc.Trace != "0a" || tc.Parent != "0b" || !tc.Record {
+		t.Errorf("TraceFrom = %+v", tc)
+	}
+	if tc := TraceFrom(t.Context()); tc != (TraceContext{}) {
+		t.Errorf("TraceFrom(empty ctx) = %+v, want zero", tc)
+	}
+}

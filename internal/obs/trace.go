@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// TraceHeader is the HTTP header carrying trace context between nodes:
+// "<traceID>" or "<traceID>-<parentSpanID>" (hex IDs, so the separator is
+// unambiguous). A coordinator forwards it with every remote cell so one
+// sweep's spans stitch across the fleet; servers echo the trace ID on every
+// response.
+const TraceHeader = "X-Preexec-Trace"
+
+// Span is one timed operation of a trace. Timestamps are microseconds since
+// the Unix epoch as read from the tracer's Clock; IDs come from the
+// tracer's seeded sequence, never from the clock.
+type Span struct {
+	Trace  string `json:"trace"`
+	ID     string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// Node names the process that recorded the span; empty means the
+	// process serving the span query itself. A coordinator stitching a
+	// cross-node trace tags imported backend spans with the backend
+	// address.
+	Node    string            `json:"node,omitempty"`
+	StartUS int64             `json:"start_us"`
+	EndUS   int64             `json:"end_us,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+
+	t *Tracer // owning tracer, nil for imported/decoded spans
+}
+
+// Tracer records spans into a bounded ring buffer and mints trace/span IDs
+// from a seeded splitmix64 sequence. A nil *Tracer is a valid no-op: every
+// method returns zero values and StartSpan returns a nil *Span whose
+// methods are themselves no-ops.
+type Tracer struct {
+	clock Clock
+	limit int
+
+	mu    sync.Mutex
+	state uint64  // splitmix64 state, advanced per ID
+	ring  []*Span // recorded spans, oldest overwritten beyond limit
+	next  int     // ring write cursor
+	full  bool
+}
+
+// defaultSpanLimit bounds the span buffer: enough for several traced sweeps
+// (a 10x12 grid with retries is a few hundred spans) without letting a
+// long-lived server grow without bound.
+const defaultSpanLimit = 4096
+
+// NewTracer builds a tracer whose IDs derive from seed (nil clock =
+// SystemClock).
+func NewTracer(seed uint64, clock Clock) *Tracer {
+	if clock == nil {
+		clock = SystemClock
+	}
+	return &Tracer{clock: clock, limit: defaultSpanLimit, state: seed}
+}
+
+// splitmix64 is the ID generator: a tiny, well-distributed PRNG whose whole
+// sequence is a pure function of the seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewTraceID mints a 16-hex-digit trace ID ("" on a nil tracer).
+func (t *Tracer) NewTraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("%016x", splitmix64(&t.state))
+}
+
+// StartSpan opens and records a span under the given trace. It returns nil
+// — a no-op span — on a nil tracer or an empty trace ID, so callers never
+// branch on whether tracing is active.
+func (t *Tracer) StartSpan(trace, parent, name string) *Span {
+	if t == nil || trace == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{
+		Trace:   trace,
+		ID:      fmt.Sprintf("%016x", splitmix64(&t.state)),
+		Parent:  parent,
+		Name:    name,
+		StartUS: t.clock.Now().UnixMicro(),
+		t:       t,
+	}
+	t.record(sp)
+	return sp
+}
+
+// record stores sp in the ring. Caller holds t.mu.
+func (t *Tracer) record(sp *Span) {
+	if len(t.ring) < t.limit && !t.full {
+		t.ring = append(t.ring, sp)
+		if len(t.ring) == t.limit {
+			t.full = true
+		}
+		return
+	}
+	if t.next >= len(t.ring) {
+		t.next = 0
+	}
+	t.ring[t.next] = sp
+	t.next++
+}
+
+// Import records a span produced elsewhere (a backend's span fetched during
+// cross-node stitching) into the buffer verbatim.
+func (t *Tracer) Import(sp Span) {
+	if t == nil {
+		return
+	}
+	cp := sp
+	cp.t = nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(&cp)
+}
+
+// Collect returns copies of every recorded span of the given trace, in
+// recording order (oldest first).
+func (t *Tracer) Collect(trace string) []Span {
+	if t == nil || trace == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Lay the ring out oldest-first, then copy matching spans. The copies
+	// happen under the mutex because SetAttr and End mutate recorded spans
+	// under the same lock.
+	order := make([]*Span, 0, len(t.ring))
+	if t.full {
+		order = append(order, t.ring[t.next:]...)
+		order = append(order, t.ring[:t.next]...)
+	} else {
+		order = append(order, t.ring...)
+	}
+	var out []Span
+	for _, sp := range order {
+		if sp == nil || sp.Trace != trace {
+			continue
+		}
+		cp := *sp
+		cp.t = nil
+		if len(sp.Attrs) > 0 {
+			cp.Attrs = make(map[string]string, len(sp.Attrs))
+			for k, v := range sp.Attrs {
+				cp.Attrs[k] = v
+			}
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// SpanID returns the span's ID ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.ID
+}
+
+// SetAttr attaches a key/value attribute (no-op on a nil span).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
+}
+
+// End stamps the span's end time (no-op on a nil span). Ending twice keeps
+// the first stamp.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.EndUS == 0 {
+		s.EndUS = s.t.clock.Now().UnixMicro()
+	}
+}
+
+// WriteNDJSON renders spans one JSON object per line — the export format of
+// tsweep -trace and GET /v1/spans.
+func WriteNDJSON(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNDJSON parses a WriteNDJSON stream, skipping blank lines.
+func ReadNDJSON(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return out, fmt.Errorf("obs: span line %d: %w", len(out)+1, err)
+		}
+		out = append(out, sp)
+	}
+	return out, sc.Err()
+}
+
+// ParseTraceHeader splits a TraceHeader value into its trace and optional
+// parent-span IDs, rejecting anything that is not plain hex (a malformed or
+// hostile header yields "", "" — the request is simply untraced).
+func ParseTraceHeader(v string) (trace, parent string) {
+	for i := 0; i < len(v); i++ {
+		if v[i] == '-' {
+			trace, parent = v[:i], v[i+1:]
+			if !isHexID(trace) || !isHexID(parent) {
+				return "", ""
+			}
+			return trace, parent
+		}
+	}
+	if !isHexID(v) {
+		return "", ""
+	}
+	return v, ""
+}
+
+// FormatTraceHeader renders trace context as a TraceHeader value.
+func FormatTraceHeader(trace, parent string) string {
+	if parent == "" {
+		return trace
+	}
+	return trace + "-" + parent
+}
+
+func isHexID(s string) bool {
+	if len(s) == 0 || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceContext is a request's tracing state as carried through contexts:
+// the trace ID echoed on responses, the parent span propagated from an
+// upstream coordinator, and whether spans should actually be recorded.
+type TraceContext struct {
+	Trace  string
+	Parent string
+	Record bool
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches trace context to ctx.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom returns the trace context attached to ctx (zero when absent).
+func TraceFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+// SpanStages adapts a tracer onto the root package's StageObserver shape
+// (StageStart(stage, bench string) func()): each stage execution becomes a
+// "stage:<name>" span under Trace. It is what tsweep -trace installs on its
+// engine to reconstruct the stage timeline of a sweep.
+type SpanStages struct {
+	Tracer *Tracer
+	Trace  string
+	Parent string
+}
+
+// StageStart opens a span for one stage execution; the returned func ends
+// it. Safe (and free) when the tracer is nil or the trace is empty.
+func (s *SpanStages) StageStart(stage, bench string) func() {
+	sp := s.Tracer.StartSpan(s.Trace, s.Parent, "stage:"+stage)
+	if sp != nil && bench != "" {
+		sp.SetAttr("bench", bench)
+	}
+	return sp.End
+}
+
+// AttrInt formats an integer for SetAttr call sites.
+func AttrInt(n int) string { return strconv.Itoa(n) }

@@ -10,11 +10,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"preexec"
 	"preexec/internal/fleet"
+	"preexec/internal/obs"
 )
 
 // FleetConfig tunes coordinator mode (enabled by WithBackends). The zero
@@ -60,8 +60,11 @@ type coordinator struct {
 	stopProbe     context.CancelFunc
 	probeDone     chan struct{}
 
-	remoteCells    atomic.Int64
-	localFallbacks atomic.Int64
+	// remoteCells and localFallbacks are obs counters so the metrics
+	// registry renders the very objects /v1/stats reads (registerFleet
+	// registers them by reference).
+	remoteCells    obs.Counter
+	localFallbacks obs.Counter
 }
 
 func newCoordinator(s *Server, backends []string, fc FleetConfig) *coordinator {
@@ -247,19 +250,79 @@ func (c *coordinator) sweep(ctx context.Context, benches []preexec.SweepBench, p
 // StageCache when no backend is live (graceful degradation) or when the
 // fleet deterministically rejected the cell (e.g. a workload registered
 // only on the coordinator).
+//
+// When the request carries recording trace context, the cell's scheduling
+// unfolds as spans: one "route" span per cell, one "forward" child per
+// remote attempt (the attempt's backend as an attribute, its span ID
+// propagated in the X-Preexec-Trace header so the backend's own spans
+// stitch underneath), and a "local-fallback" child when the coordinator
+// evaluates the cell itself. With tracing off every span below is nil and
+// each call a no-op.
 func (c *coordinator) runCell(ctx context.Context, cell coordCell) (preexec.Report, error) {
-	rep, _, err := fleet.Do(ctx, c.pool, cell.routeKey, func(ctx context.Context, backend int) (preexec.Report, error) {
-		return c.remoteCell(ctx, backend, cell)
+	tc := obs.TraceFrom(ctx)
+	if !tc.Record {
+		tc.Trace = ""
+	}
+	tr := c.srv.obs.tracer
+	route := tr.StartSpan(tc.Trace, tc.Parent, "route")
+	route.SetAttr("cell", cell.bench+"/"+cell.point)
+	defer route.End()
+	rep, st, err := fleet.Do(ctx, c.pool, cell.routeKey, func(ctx context.Context, backend int) (preexec.Report, error) {
+		fw := tr.StartSpan(tc.Trace, route.SpanID(), "forward")
+		fw.SetAttr("backend", c.addrs[backend])
+		var hdr string
+		if tc.Trace != "" {
+			hdr = obs.FormatTraceHeader(tc.Trace, fw.SpanID())
+		}
+		rep, err := c.remoteCell(ctx, backend, cell, hdr)
+		if err != nil {
+			fw.SetAttr("error", err.Error())
+		}
+		fw.End()
+		return rep, err
 	})
+	route.SetAttr("attempts", obs.AttrInt(st.Attempts))
+	if st.FailedOver {
+		route.SetAttr("failed_over", "true")
+	}
 	switch {
 	case err == nil:
-		c.remoteCells.Add(1)
+		c.remoteCells.Inc()
 		return rep, nil
 	case errors.Is(err, fleet.ErrNoBackends), fleet.IsPermanent(err):
-		c.localFallbacks.Add(1)
+		c.localFallbacks.Inc()
+		lf := tr.StartSpan(tc.Trace, route.SpanID(), "local-fallback")
+		defer lf.End()
 		return c.srv.engine(cell.cfg).Evaluate(ctx, cell.prog)
 	default:
 		return preexec.Report{}, err
+	}
+}
+
+// collectSpans stitches a cross-node trace after a traced sweep: each
+// backend's /v1/spans is queried for the trace and its spans imported into
+// the coordinator's tracer tagged with the backend address. Best effort — a
+// dead backend simply contributes no spans (its cells' forward spans carry
+// the error already).
+func (c *coordinator) collectSpans(ctx context.Context, trace string) {
+	for _, addr := range c.addrs {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/spans?trace="+trace, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			continue
+		}
+		spans, _ := obs.ReadNDJSON(io.LimitReader(resp.Body, remoteBodyLimit))
+		resp.Body.Close()
+		for _, sp := range spans {
+			if sp.Trace != trace {
+				continue
+			}
+			sp.Node = addr
+			c.srv.obs.tracer.Import(sp)
+		}
 	}
 }
 
@@ -267,8 +330,9 @@ func (c *coordinator) runCell(ctx context.Context, cell coordCell) (preexec.Repo
 // validates the payload hard: a short, garbled, or mislabeled response is an
 // ordinary retryable failure, never a value. Only a decodable 4xx rejection
 // is permanent — it is the request's own fault and retrying elsewhere
-// cannot change it.
-func (c *coordinator) remoteCell(ctx context.Context, backend int, cell coordCell) (preexec.Report, error) {
+// cannot change it. traceHdr, when non-empty, is the X-Preexec-Trace value
+// linking the backend's spans under this attempt's forward span.
+func (c *coordinator) remoteCell(ctx context.Context, backend int, cell coordCell, traceHdr string) (preexec.Report, error) {
 	var zero preexec.Report
 	body, err := json.Marshal(struct {
 		Benches []string     `json:"benches"`
@@ -289,6 +353,9 @@ func (c *coordinator) remoteCell(ctx context.Context, backend int, cell coordCel
 		return zero, fleet.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceHdr != "" {
+		req.Header.Set(obs.TraceHeader, traceHdr)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return zero, err
@@ -355,7 +422,7 @@ func (c *coordinator) stats() *fleetStats {
 		Backends:       c.pool.Snapshot(),
 		Retries:        retries,
 		Failovers:      failovers,
-		RemoteCells:    c.remoteCells.Load(),
-		LocalFallbacks: c.localFallbacks.Load(),
+		RemoteCells:    c.remoteCells.Value(),
+		LocalFallbacks: c.localFallbacks.Value(),
 	}
 }

@@ -160,7 +160,9 @@ func (s *Server) bench(ctx context.Context, name string, scale int) (preexec.Swe
 		// No Test build: only ConfigPoint.Derive consumes it, and Derive is
 		// a Go func no HTTP request can set — an eager BuildTest would
 		// double both the build cost and the cache's memory for nothing.
+		stop := s.obs.StageStart("build", w.Name)
 		b := preexec.SweepBench{Name: w.Name, Program: w.Build(scale)}
+		stop()
 		s.storeProgram(key, b)
 		return b, nil
 	})

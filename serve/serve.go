@@ -11,6 +11,8 @@
 //	POST /v1/sweep       grid request -> SweepResult (JSON or CSV; optional
 //	                     NDJSON progress stream)
 //	GET  /v1/stats       cache + request + single-flight counters
+//	GET  /v1/spans       one trace's recorded spans as NDJSON
+//	GET  /metrics        the same counters in Prometheus text format
 //
 // The scheduling core layers three mechanisms over the library:
 //
@@ -37,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"preexec"
+	"preexec/internal/obs"
 )
 
 // defaultMaxBody bounds request bodies (a generated .prx for a 4M-word
@@ -92,9 +95,11 @@ type Server struct {
 	progTick int64
 	builds   preexec.FlightGroup[progKey, preexec.SweepBench]
 
-	inFlight  atomic.Int64
-	completed atomic.Int64
-	uploads   atomic.Int64
+	uploads atomic.Int64
+
+	// obs bundles the metrics registry, tracer, and stage-latency
+	// histograms behind GET /metrics, /v1/spans, and /v1/stats.
+	obs *serverObs
 
 	// Coordinator mode (WithBackends): /v1/sweep fans out across backend
 	// preexecds instead of evaluating locally; every other endpoint still
@@ -162,6 +167,7 @@ func New(opts ...Option) *Server {
 		}
 	}
 	s.gate = newGate(s.workers)
+	s.obs = newServerObs(s)
 	profiler, selector, simulator := preexec.ReferenceStages()
 	s.profiler = gatedProfiler{g: s.gate, p: profiler}
 	s.selector = selector // selection is cheap and stays ungated
@@ -170,9 +176,11 @@ func New(opts ...Option) *Server {
 		preexec.WithProfiler(s.profiler),
 		preexec.WithSelector(s.selector),
 		preexec.WithSimulator(s.simulator),
+		preexec.WithStageObserver(s.obs),
 	)
 	if len(s.backendAddrs) > 0 {
 		s.coord = newCoordinator(s, s.backendAddrs, s.fleetCfg)
+		s.obs.registerFleet(s.coord)
 	}
 
 	// One route table drives both the mux registrations and the catch-all's
@@ -186,6 +194,8 @@ func New(opts ...Option) *Server {
 		{"POST", "/v1/evaluate", s.handleEvaluate},
 		{"POST", "/v1/sweep", s.handleSweep},
 		{"GET", "/v1/stats", s.handleStats},
+		{"GET", "/v1/spans", s.handleSpans},
+		{"GET", "/metrics", s.handleMetrics},
 	}
 	s.mux = http.NewServeMux()
 	allowed := make(map[string]string)
@@ -211,16 +221,27 @@ func New(opts ...Option) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler, tracking the in-flight and completed
-// request gauges reported by /v1/stats (the in-flight count includes the
-// stats request reading it).
+// ServeHTTP implements http.Handler. It tracks the in-flight and completed
+// request series reported by /v1/stats and /metrics (the in-flight count
+// includes the request reading it), and establishes trace context: a valid
+// X-Preexec-Trace request header joins the caller's trace (span recording
+// on — this is how a coordinator's backends stitch into its trace), anything
+// else gets a fresh ID with recording off until an endpoint opts in. The
+// trace ID is always echoed on the response header.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.inFlight.Add(1)
+	s.obs.requestsInFlight.Add(1)
 	defer func() {
-		s.inFlight.Add(-1)
-		s.completed.Add(1)
+		s.obs.requestsInFlight.Add(-1)
+		s.obs.requestsCompleted.Inc()
 	}()
-	s.mux.ServeHTTP(w, r)
+	trace, parent := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	record := trace != ""
+	if trace == "" {
+		trace = s.obs.tracer.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, trace)
+	ctx := obs.WithTrace(r.Context(), obs.TraceContext{Trace: trace, Parent: parent, Record: record})
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
 }
 
 // Workers returns the server-wide stage-concurrency bound.
@@ -249,5 +270,6 @@ func (s *Server) engine(cfg preexec.Config) *preexec.Engine {
 		preexec.WithSelector(s.selector),
 		preexec.WithSimulator(s.simulator),
 		preexec.WithStageCache(s.cache),
+		preexec.WithStageObserver(s.obs),
 	)
 }

@@ -56,8 +56,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
 	resp.Cache = s.cache.Stats()
 	resp.CacheEntries.Base, resp.CacheEntries.Profile = s.cache.Len()
-	resp.Requests.InFlight = s.inFlight.Load()
-	resp.Requests.Completed = s.completed.Load()
+	resp.Requests.InFlight = s.obs.requestsInFlight.Value()
+	resp.Requests.Completed = s.obs.requestsCompleted.Value()
 	resp.Flights.Started, resp.Flights.Coalesced = s.flights.Stats()
 	resp.Flights.Waiting = s.flights.Waiting()
 	resp.ProgramsCached = s.cachedPrograms()

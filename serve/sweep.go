@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"preexec"
+	"preexec/internal/obs"
 	"preexec/internal/sweepio"
 )
 
@@ -29,6 +30,13 @@ type sweepRequest struct {
 	// {"event":"cell",...} line per completed cell as it finishes, then a
 	// final {"event":"result",...} (or {"event":"error",...}) line.
 	Stream bool `json:"stream,omitempty"`
+	// Trace turns on span recording for this sweep (equivalent to the
+	// ?trace=1 query parameter). The response body is byte-identical either
+	// way: spans travel only through the side channels — the
+	// X-Preexec-Trace response header names the trace, GET /v1/spans
+	// returns its spans, and streaming responses append trailing
+	// {"event":"span",...} lines after the result event.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // sweepPoint mirrors preexec.ConfigPoint for requests: Config decodes over
@@ -118,14 +126,38 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Span recording turns on when the client asked (?trace=1 or the
+	// request's trace field) or when an upstream coordinator forwarded its
+	// trace header. traceID stays empty with recording off, which makes
+	// every span below a no-op.
+	tc := obs.TraceFrom(ctx)
+	tc.Record = tc.Record || req.Trace || r.URL.Query().Get("trace") == "1"
+	var traceID string
+	if tc.Record {
+		traceID = tc.Trace
+	}
+
 	// run is the one evaluation path both renderings share: fanned out
 	// across the fleet in coordinator mode, through the local memoized
-	// sweep otherwise.
+	// sweep otherwise. A traced run wraps the whole grid in a "sweep" span
+	// that parents the coordinator's routing spans or the local engine's
+	// stage spans.
 	run := func(progress func(preexec.SuiteEvent)) (*preexec.SweepResult, error) {
+		sweepSpan := s.obs.tracer.StartSpan(traceID, tc.Parent, "sweep")
+		defer sweepSpan.End()
 		if s.coord != nil {
-			return s.coord.sweep(ctx, benches, points, rawCfgs, scale, workers, progress)
+			cctx := obs.WithTrace(ctx, obs.TraceContext{Trace: tc.Trace, Parent: sweepSpan.SpanID(), Record: tc.Record})
+			res, err := s.coord.sweep(cctx, benches, points, rawCfgs, scale, workers, progress)
+			if traceID != "" {
+				s.coord.collectSpans(ctx, traceID)
+			}
+			return res, err
 		}
-		sweep := &preexec.Sweep{Engine: s.base, Workers: workers, Cache: s.cache, Progress: progress}
+		engine := s.base
+		if traceID != "" {
+			engine = s.tracedEngine(traceID, sweepSpan.SpanID())
+		}
+		sweep := &preexec.Sweep{Engine: engine, Workers: workers, Cache: s.cache, Progress: progress}
 		return sweep.Run(ctx, benches, points)
 	}
 
@@ -179,4 +211,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Event  string               `json:"event"`
 		Result *preexec.SweepResult `json:"result"`
 	}{"result", res})
+	// Traced streams get the spans appended after the result event — extra
+	// trailing lines, so consumers of the pinned event sequence are
+	// unaffected unless they opted into tracing.
+	if traceID != "" {
+		for _, sp := range s.obs.tracer.Collect(traceID) {
+			if ctx.Err() != nil {
+				return
+			}
+			_ = enc.Encode(struct {
+				Event string   `json:"event"`
+				Span  obs.Span `json:"span"`
+			}{"span", sp})
+		}
+	}
 }
