@@ -183,6 +183,100 @@ func BenchmarkSimVprPPreexec(b *testing.B) {
 	}
 }
 
+// BenchmarkRecordTraceVprP measures recording the base-run event trace that
+// the replay benchmarks consume — the one-time cost a sweep pays per base
+// group before every selection cell replays for almost free.
+func BenchmarkRecordTraceVprP(b *testing.B) {
+	w, err := workload.ByName("vpr.p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(1)
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.RecordTrace(context.Background(), p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayVprP replays the same selection BenchmarkSimVprPPreexec
+// simulates in full, against a recorded trace — the two benchmarks bracket
+// the per-cell saving of the trace-replay fast path (results bit-identical).
+func BenchmarkReplayVprP(b *testing.B) {
+	w, err := workload.ByName("vpr.p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build(1)
+	forest, err := slice.ProfileWhole(p, slice.ProfileOptions{MaxInsts: 50_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := selector.SelectForest(forest, selector.Options{Params: advantage.DefaultParams(1.5), Merge: true})
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	cfg.Mode = timing.ModeNormal
+	tr, err := timing.RecordTrace(context.Background(), p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.Replay(context.Background(), tr, res.PThreads, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// replayGrid is the selection-only sweep the trace-replay benchmarks run: a
+// Figure-5-style optimization x merging grid where every cell shares one
+// base-run identity per benchmark, so the full-sim path re-simulates each
+// selection while the replay path records once and replays.
+func replayGrid(b *testing.B) ([]preexec.SweepBench, []preexec.ConfigPoint) {
+	b.Helper()
+	benches, err := preexec.SweepBenches([]string{"crafty", "gcc", "vpr.p"}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var points []preexec.ConfigPoint
+	for _, name := range []string{"none", "merge", "opt", "opt+merge"} {
+		cfg := preexec.DefaultConfig()
+		cfg.Machine.WarmInsts, cfg.Machine.MeasureInsts = 10_000, 30_000
+		cfg.Selection.Optimize = name == "opt" || name == "opt+merge"
+		cfg.Selection.Merge = name == "merge" || name == "opt+merge"
+		points = append(points, preexec.ConfigPoint{Name: name, Config: cfg})
+	}
+	return benches, points
+}
+
+func benchSweepGrid(b *testing.B, replay bool) {
+	benches, points := replayGrid(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &preexec.Sweep{
+			Engine:  preexec.New(preexec.WithReplay(replay)),
+			Workers: 2,
+		}
+		if _, err := s.Run(context.Background(), benches, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepReplayGrid runs the selection-only grid with the
+// trace-replay fast path on (the default); BenchmarkSweepFullSimGrid is the
+// same grid forced through full simulation with WithReplay(false). Their
+// ratio is the sweep-level speedup of trace replay; the README "Trace
+// replay" section records measured numbers.
+func BenchmarkSweepReplayGrid(b *testing.B)  { benchSweepGrid(b, true) }
+func BenchmarkSweepFullSimGrid(b *testing.B) { benchSweepGrid(b, false) }
+
 // suitePrograms builds the full ten-benchmark suite with small windows for
 // the suite-runner benchmarks.
 func suitePrograms(b *testing.B) (*preexec.Engine, []*preexec.Program) {

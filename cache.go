@@ -4,27 +4,34 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"preexec/internal/timing"
 )
 
 // StageCache memoizes the expensive, selection-independent stages of the
-// evaluation pipeline across engines that share it: base timing runs and
-// functional profiles. The paper's framework explicitly decouples these
-// stages — one profile and one base run can serve many selection variants
-// (§4) — so a sweep whose cells differ only in selection or ablation knobs
-// performs each per-benchmark stage once.
+// evaluation pipeline across engines that share it: base timing runs,
+// functional profiles, and recorded base-run traces. The paper's framework
+// explicitly decouples these stages — one profile and one base run can serve
+// many selection variants (§4) — so a sweep whose cells differ only in
+// selection or ablation knobs performs each per-benchmark stage once.
 //
 // Entries are keyed by program identity (pointer) plus only the
 // configuration fields that feed the stage:
 //
 //   - base timing runs: the full normalized timing.Config — which an Engine
-//     derives from MachineConfig alone — with NoRSThrottle cleared, since
-//     the injection throttle only gates p-thread bursts and a base run has
-//     no p-threads. Only nil-p-thread ModeBase runs are cached; p-thread
-//     runs depend on the selection and are never shared.
+//     derives from MachineConfig alone — reduced to the base-run identity
+//     (NoRSThrottle cleared, since the injection throttle only gates
+//     p-thread bursts and a base run has no p-threads). Only nil-p-thread
+//     ModeBase runs are cached; p-thread runs depend on the selection and
+//     are never shared.
 //   - profiles: the full ProfileOptions (warm-up, profile window, scope,
 //     max slice length, region granularity) plus the profiled program —
 //     which may be the selection target (SelectionConfig.ProfileOn), not
 //     the evaluated program.
+//   - traces: the same base-run identity (the recorded front-end stream is
+//     selection- and mode-independent, see timing.RecordTrace) plus the
+//     timing.TraceVersion simulator fingerprint, so a timing-core change
+//     invalidates recorded traces cleanly.
 //
 // Cached profile regions are shared by pointer: selection only reads the
 // slice forests (paths and bodies are copied out), so concurrent selections
@@ -48,6 +55,7 @@ import (
 type StageCache struct {
 	base    stageMap[baseKey, Stats]
 	profile stageMap[profileKey, []ProfileRegion]
+	trace   stageMap[traceKey, *Trace]
 }
 
 // StageCacheOption customizes a StageCache at construction.
@@ -62,6 +70,7 @@ func WithStageCacheLimit(n int) StageCacheOption {
 	return func(c *StageCache) {
 		c.base.limit = n
 		c.profile.limit = n
+		c.trace.limit = n
 	}
 }
 
@@ -86,8 +95,14 @@ type CacheStats struct {
 	BaseHits    int64 `json:"base_hits"`
 	ProfileRuns int64 `json:"profile_runs"`
 	ProfileHits int64 `json:"profile_hits"`
+	// TraceRuns counts base-run trace recordings, TraceHits replays served
+	// from an already-recorded trace. A selection-knob grid over N traceable
+	// benchmarks records exactly N traces; cells whose runs are too large to
+	// record (see timing.Traceable) simulate directly and count in neither.
+	TraceRuns int64 `json:"trace_runs,omitempty"`
+	TraceHits int64 `json:"trace_hits,omitempty"`
 	// Evictions counts entries dropped by the WithStageCacheLimit LRU
-	// bound (both stages); always zero for unlimited caches.
+	// bound (all stages); always zero for unlimited caches.
 	Evictions int64 `json:"evictions,omitempty"`
 }
 
@@ -98,13 +113,15 @@ func (c *StageCache) Stats() CacheStats {
 		BaseHits:    c.base.hits.Load(),
 		ProfileRuns: c.profile.runs.Load(),
 		ProfileHits: c.profile.hits.Load(),
-		Evictions:   c.base.evictions.Load() + c.profile.evictions.Load(),
+		TraceRuns:   c.trace.runs.Load(),
+		TraceHits:   c.trace.hits.Load(),
+		Evictions:   c.base.evictions.Load() + c.profile.evictions.Load() + c.trace.evictions.Load(),
 	}
 }
 
-// Len returns the entry counts currently held by the two stages.
-func (c *StageCache) Len() (baseEntries, profileEntries int) {
-	return c.base.len(), c.profile.len()
+// Len returns the entry counts currently held by the three stages.
+func (c *StageCache) Len() (baseEntries, profileEntries, traceEntries int) {
+	return c.base.len(), c.profile.len(), c.trace.len()
 }
 
 // sub returns the counter deltas since an earlier snapshot.
@@ -114,6 +131,8 @@ func (s CacheStats) sub(prev CacheStats) CacheStats {
 		BaseHits:    s.BaseHits - prev.BaseHits,
 		ProfileRuns: s.ProfileRuns - prev.ProfileRuns,
 		ProfileHits: s.ProfileHits - prev.ProfileHits,
+		TraceRuns:   s.TraceRuns - prev.TraceRuns,
+		TraceHits:   s.TraceHits - prev.TraceHits,
 		Evictions:   s.Evictions - prev.Evictions,
 	}
 }
@@ -236,20 +255,33 @@ type profileKey struct {
 	opts ProfileOptions
 }
 
+type traceKey struct {
+	prog    *Program
+	cfg     TimingConfig
+	version string
+}
+
 // baseStats returns the memoized base timing run for (p, cfg), computing it
 // on a miss. cfg must be a nil-p-thread ModeBase configuration.
 func (c *StageCache) baseStats(ctx context.Context, p *Program, cfg TimingConfig, compute func() (Stats, error)) (Stats, error) {
-	key := baseKey{prog: p, cfg: cfg}
-	// The injection throttle only gates p-thread bursts; with no p-threads
-	// it cannot fire, so ablation cells share the base run.
-	key.cfg.NoRSThrottle = false
-	return c.base.getOrCompute(ctx, key, compute)
+	return c.base.getOrCompute(ctx, baseKey{prog: p, cfg: normalizeBaseTiming(cfg)}, compute)
 }
 
 // regions returns the memoized profile for (p, opts), computing it on a
 // miss. Callers must treat the returned regions as immutable.
 func (c *StageCache) regions(ctx context.Context, p *Program, opts ProfileOptions, compute func() ([]ProfileRegion, error)) ([]ProfileRegion, error) {
 	return c.profile.getOrCompute(ctx, profileKey{prog: p, opts: opts}, compute)
+}
+
+// traceFor returns the memoized base-run trace for (p, cfg), recording it on
+// a miss. cfg may carry any p-thread mode: the recorded front-end stream is
+// mode- and selection-independent, so the entry is keyed by the same
+// normalized base-run identity as baseStats, plus the simulator fingerprint
+// (a timing-core change invalidates recorded traces cleanly). Traces are
+// immutable after recording and shared by pointer across concurrent replays.
+func (c *StageCache) traceFor(ctx context.Context, p *Program, cfg TimingConfig, compute func() (*Trace, error)) (*Trace, error) {
+	key := traceKey{prog: p, cfg: normalizeBaseTiming(cfg), version: timing.TraceVersion}
+	return c.trace.getOrCompute(ctx, key, compute)
 }
 
 // stageMap is one memoized stage: a keyed set of single-flight entries,

@@ -36,7 +36,7 @@ func TestStageCacheLimitEvictsLRU(t *testing.T) {
 	get(ps[1])
 	get(ps[0]) // refresh p0: p1 becomes least recently used
 	get(ps[2]) // exceeds the bound: evicts p1
-	if base, _ := c.Len(); base != 2 {
+	if base, _, _ := c.Len(); base != 2 {
 		t.Fatalf("cache holds %d base entries, want 2", base)
 	}
 	if got := c.Stats().Evictions; got != 1 {
@@ -68,7 +68,7 @@ func TestStageCacheUnlimitedByDefault(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if base, _ := c.Len(); base != 64 {
+	if base, _, _ := c.Len(); base != 64 {
 		t.Fatalf("unlimited cache holds %d entries, want 64", base)
 	}
 	if ev := c.Stats().Evictions; ev != 0 {
@@ -191,7 +191,7 @@ func TestStageCacheEvictionOfInflightEntry(t *testing.T) {
 
 	// The fresh p0 entry evicted p1 in turn; the evicted flight's late
 	// completion must not resurrect its entry or disturb the counters.
-	if base, _ := c.Len(); base != 1 {
+	if base, _, _ := c.Len(); base != 1 {
 		t.Fatalf("cache holds %d base entries, want 1", base)
 	}
 	st := c.Stats()
@@ -244,7 +244,7 @@ func TestSweepWithCacheLimitBitIdentical(t *testing.T) {
 			t.Errorf("cell %s/%s differs between limited cache and no cache", a.Bench, a.Point)
 		}
 	}
-	if base, prof := limited.Cache.Len(); base > 1 || prof > 1 {
-		t.Errorf("limited cache holds %d/%d entries, want <= 1 each", base, prof)
+	if base, prof, trace := limited.Cache.Len(); base > 1 || prof > 1 || trace > 1 {
+		t.Errorf("limited cache holds %d/%d/%d entries, want <= 1 each", base, prof, trace)
 	}
 }

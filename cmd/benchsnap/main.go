@@ -2,9 +2,14 @@
 // (BenchmarkSim<workload>: one bare timing.Run of 50k instructions each,
 // mirroring the root bench_test.go targets), the sweep-memoization pair
 // (BenchmarkSweepCached/BenchmarkSweepUncached: the same selection grid with
-// and without the stage cache), and the workload-synthesis pair
-// (BenchmarkSynthGenerate/BenchmarkAssemble, mirroring synth/bench_test.go)
-// into a JSON baseline, and checks a fresh run against a committed baseline.
+// and without the stage cache), the trace-replay benchmarks
+// (BenchmarkRecordTraceVprP/BenchmarkReplayVprP bracket one cell's record
+// and replay cost against BenchmarkSimVprPPreexec's full simulation;
+// BenchmarkSweepReplayGrid/BenchmarkSweepFullSimGrid are the same selection
+// grid with the replay fast path on and forced off), and the
+// workload-synthesis pair (BenchmarkSynthGenerate/BenchmarkAssemble,
+// mirroring synth/bench_test.go) into a JSON baseline, and checks a fresh
+// run against a committed baseline.
 //
 //	benchsnap -o BENCH_baseline.json          # record a baseline
 //	benchsnap -check BENCH_baseline.json      # fail on gross regressions
@@ -94,6 +99,84 @@ func preexecBench() (func(b *testing.B), error) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := timing.Run(p, res.PThreads, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+// recordBench returns the closure for BenchmarkRecordTraceVprP's shape: one
+// base-run trace recording of the 50k-instruction vpr.p run.
+func recordBench() (func(b *testing.B), error) {
+	w, err := workload.ByName("vpr.p")
+	if err != nil {
+		return nil, err
+	}
+	p := w.Build(1)
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timing.RecordTrace(context.Background(), p, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+// replayBench returns the closure for BenchmarkReplayVprP's shape: profile,
+// select, and record once, then measure timing.Replay of the selection
+// against the trace — the replay-side counterpart of preexecBench, so the
+// baseline brackets the per-cell saving of the trace-replay fast path.
+func replayBench() (func(b *testing.B), error) {
+	w, err := workload.ByName("vpr.p")
+	if err != nil {
+		return nil, err
+	}
+	p := w.Build(1)
+	forest, err := slice.ProfileWhole(p, slice.ProfileOptions{MaxInsts: 50_000})
+	if err != nil {
+		return nil, err
+	}
+	res := selector.SelectForest(forest, selector.Options{Params: advantage.DefaultParams(1.5), Merge: true})
+	cfg := timing.DefaultConfig()
+	cfg.MaxInsts = 50_000
+	cfg.Mode = timing.ModeNormal
+	tr, err := timing.RecordTrace(context.Background(), p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timing.Replay(context.Background(), tr, res.PThreads, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+// replaySweepBench returns the closure for the
+// BenchmarkSweepReplayGrid/BenchmarkSweepFullSimGrid pair: the sweepBench
+// selection grid run through an engine with the trace-replay fast path on
+// (the default) or forced off, so the sweep-level win of replay is recorded
+// in the baseline alongside the memoization pair.
+func replaySweepBench(replay bool) (func(b *testing.B), error) {
+	benches, err := preexec.SweepBenches([]string{"crafty", "gcc", "vpr.p"}, 1)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]preexec.ConfigPoint, 0, 4)
+	for _, name := range []string{"none", "merge", "opt", "opt+merge"} {
+		cfg := preexec.DefaultConfig()
+		cfg.Machine.WarmInsts, cfg.Machine.MeasureInsts = 10_000, 30_000
+		cfg.Selection.Optimize = name == "opt" || name == "opt+merge"
+		cfg.Selection.Merge = name == "merge" || name == "opt+merge"
+		points = append(points, preexec.ConfigPoint{Name: name, Config: cfg})
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := &preexec.Sweep{Engine: preexec.New(preexec.WithReplay(replay)), Workers: 2}
+			if _, err := s.Run(context.Background(), benches, points); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -219,13 +302,17 @@ func measure() (map[string]Result, error) {
 	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
 		"BenchmarkSimVprPPreexec", float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	for _, sw := range []struct {
-		name   string
-		cached bool
+		name string
+		mk   func() (func(b *testing.B), error)
 	}{
-		{"BenchmarkSweepCached", true},
-		{"BenchmarkSweepUncached", false},
+		{"BenchmarkRecordTraceVprP", recordBench},
+		{"BenchmarkReplayVprP", replayBench},
+		{"BenchmarkSweepCached", func() (func(b *testing.B), error) { return sweepBench(true) }},
+		{"BenchmarkSweepUncached", func() (func(b *testing.B), error) { return sweepBench(false) }},
+		{"BenchmarkSweepReplayGrid", func() (func(b *testing.B), error) { return replaySweepBench(true) }},
+		{"BenchmarkSweepFullSimGrid", func() (func(b *testing.B), error) { return replaySweepBench(false) }},
 	} {
-		fn, err := sweepBench(sw.cached)
+		fn, err := sw.mk()
 		if err != nil {
 			return nil, err
 		}

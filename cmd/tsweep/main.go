@@ -10,8 +10,8 @@
 //	       [-scope list] [-maxlen list] [-opt list] [-merge list]
 //	       [-region list] [-memlat list] [-selmemlat list]
 //	       [-width list] [-selwidth list]
-//	       [-workers N] [-json|-csv] [-cache on|off] [-progress]
-//	       [-trace file.ndjson]
+//	       [-workers N] [-json|-csv] [-cache on|off] [-replay on|off]
+//	       [-progress] [-trace file.ndjson]
 //
 // Each grid flag takes a comma-separated value list; the grid is the cross
 // product of every flag given (an empty grid evaluates the single "base"
@@ -22,14 +22,16 @@
 //	tsweep -memlat 70,140 -selmemlat 70,140                 # Figure 8
 //
 // -cache=off disables stage memoization (every cell recomputes everything);
-// results are bit-for-bit identical either way. The cache's run/hit
-// counters are reported on stderr.
+// -replay=off forces every selection-dependent run through full simulation
+// instead of replaying the memoized base-run trace. Results are bit-for-bit
+// identical any way these are set. The cache's run/hit counters are reported
+// on stderr.
 //
 // -trace records the sweep's stage executions as spans — one "sweep" root
-// plus one "stage:<name>" span per base run, profile, selection, and
-// simulation actually executed (cache hits record nothing) — and writes
-// them NDJSON to the given file. Tracing never touches stdout: the sweep
-// output is byte-identical with and without it.
+// plus one "stage:<name>" span per base run, profile, selection, trace
+// recording, replay, and full simulation actually executed (cache hits
+// record nothing) — and writes them NDJSON to the given file. Tracing never
+// touches stdout: the sweep output is byte-identical with and without it.
 package main
 
 import (
@@ -90,16 +92,17 @@ func boolField(dst func(cfg *preexec.Config) *bool) func(*preexec.Config, string
 
 func main() {
 	var (
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
-		scale    = flag.Int("scale", 1, "workload scale multiplier")
-		warm     = flag.Int64("warm", 30_000, "warm-up instructions")
-		measure  = flag.Int64("measure", 120_000, "measured instructions")
-		workers  = flag.Int("workers", 0, "concurrent cell evaluations (0 = all cores)")
-		jsonOut  = flag.Bool("json", false, "emit the full sweep result as JSON")
-		csvOut   = flag.Bool("csv", false, "emit per-cell rows as CSV")
-		cacheArg = flag.String("cache", "on", "stage memoization: on or off")
-		progress = flag.Bool("progress", false, "stream per-cell completion to stderr")
-		traceOut = flag.String("trace", "", "write stage spans as NDJSON to this file")
+		bench     = flag.String("bench", "", "comma-separated benchmark subset (default: all ten)")
+		scale     = flag.Int("scale", 1, "workload scale multiplier")
+		warm      = flag.Int64("warm", 30_000, "warm-up instructions")
+		measure   = flag.Int64("measure", 120_000, "measured instructions")
+		workers   = flag.Int("workers", 0, "concurrent cell evaluations (0 = all cores)")
+		jsonOut   = flag.Bool("json", false, "emit the full sweep result as JSON")
+		csvOut    = flag.Bool("csv", false, "emit per-cell rows as CSV")
+		cacheArg  = flag.String("cache", "on", "stage memoization: on or off")
+		replayArg = flag.String("replay", "on", "trace-replay fast path: on or off")
+		progress  = flag.Bool("progress", false, "stream per-cell completion to stderr")
+		traceOut  = flag.String("trace", "", "write stage spans as NDJSON to this file")
 
 		scopes     = flag.String("scope", "", "slicing scopes (comma-separated)")
 		maxlens    = flag.String("maxlen", "", "maximum p-thread lengths")
@@ -123,6 +126,15 @@ func main() {
 		noCache = true
 	default:
 		fmt.Fprintf(os.Stderr, "tsweep: -cache=%q, want on or off\n", *cacheArg)
+		os.Exit(2)
+	}
+	replay := false
+	switch *replayArg {
+	case "on":
+		replay = true
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "tsweep: -replay=%q, want on or off\n", *replayArg)
 		os.Exit(2)
 	}
 
@@ -163,6 +175,7 @@ func main() {
 	defer stop()
 
 	sweep := &preexec.Sweep{Workers: *workers, NoCache: noCache}
+	engineOpts := []preexec.Option{preexec.WithReplay(replay)}
 	var (
 		tracer  *obs.Tracer
 		traceID string
@@ -175,10 +188,11 @@ func main() {
 		traceID = tracer.NewTraceID()
 		root := tracer.StartSpan(traceID, "", "sweep")
 		rootEnd = root.End
-		sweep.Engine = preexec.New(preexec.WithStageObserver(
+		engineOpts = append(engineOpts, preexec.WithStageObserver(
 			&obs.SpanStages{Tracer: tracer, Trace: traceID, Parent: root.SpanID()},
 		))
 	}
+	sweep.Engine = preexec.New(engineOpts...)
 	if *progress {
 		sweep.Progress = func(ev preexec.SuiteEvent) {
 			status := "ok"
@@ -203,8 +217,9 @@ func main() {
 			err = emitErr
 		}
 		if !noCache {
-			fmt.Fprintf(os.Stderr, "tsweep: cache: %d base runs (+%d shared), %d profiles (+%d shared) for %d cells\n",
-				res.Cache.BaseRuns, res.Cache.BaseHits, res.Cache.ProfileRuns, res.Cache.ProfileHits, len(res.Cells))
+			fmt.Fprintf(os.Stderr, "tsweep: cache: %d base runs (+%d shared), %d profiles (+%d shared), %d traces (+%d replayed) for %d cells\n",
+				res.Cache.BaseRuns, res.Cache.BaseHits, res.Cache.ProfileRuns, res.Cache.ProfileHits,
+				res.Cache.TraceRuns, res.Cache.TraceHits, len(res.Cells))
 		}
 	}
 	if err != nil {

@@ -30,6 +30,20 @@ type Simulator interface {
 	Simulate(ctx context.Context, p *Program, pts []*PThread, cfg TimingConfig) (Stats, error)
 }
 
+// TraceReplayer is the optional Simulator extension behind the trace-replay
+// fast path: RecordTrace captures the base run's front-end event stream once
+// (fetch order, effective addresses, predictor verdicts — all
+// selection-independent), and Replay scores a p-thread set against the
+// recorded stream without re-simulating, bit-identical to Simulate. Engines
+// with a stage cache route selection-dependent timing runs through this
+// interface automatically when their Simulator implements it (the reference
+// simulator does); a Simulator without it simply always simulates in full.
+// See WithReplay for the escape hatch.
+type TraceReplayer interface {
+	RecordTrace(ctx context.Context, p *Program, cfg TimingConfig) (*Trace, error)
+	Replay(ctx context.Context, t *Trace, pts []*PThread, cfg TimingConfig) (Stats, error)
+}
+
 // The reference stage implementations.
 type (
 	sliceProfiler   struct{}
@@ -52,13 +66,23 @@ func (timingSimulator) Simulate(ctx context.Context, p *Program, pts []*PThread,
 	return timing.RunContext(ctx, p, pts, cfg)
 }
 
+func (timingSimulator) RecordTrace(ctx context.Context, p *Program, cfg TimingConfig) (*Trace, error) {
+	return timing.RecordTrace(ctx, p, cfg)
+}
+
+func (timingSimulator) Replay(ctx context.Context, t *Trace, pts []*PThread, cfg TimingConfig) (Stats, error) {
+	return timing.Replay(ctx, t, pts, cfg)
+}
+
 // StageObserver receives a callback around every pipeline stage execution:
 // StageStart is called when a stage begins and the func it returns when the
 // stage ends. Stages are named "base" (the unassisted timing run),
-// "profile", "select", and "sim" (the p-thread timing run); bench is the
-// program under evaluation ("" where no single program applies). With a
-// stage cache attached, only real executions are observed — cache hits
-// never reach the observer, so observed latencies are true stage costs.
+// "profile", "select", "sim" (a fully simulated p-thread timing run),
+// "trace" (a base-run trace recording), and "replay" (a p-thread run scored
+// against the recorded trace); bench is the program under evaluation (""
+// where no single program applies). With a stage cache attached, only real
+// executions are observed — cache hits never reach the observer, so
+// observed latencies are true stage costs.
 //
 // Observers exist for instrumentation (the serve package feeds stage
 // latency histograms and span traces from this hook) and must not influence
@@ -83,9 +107,14 @@ type Engine struct {
 	profiler  Profiler
 	selector  Selector
 	simulator Simulator
-	// cache, if non-nil, memoizes base timing runs and profiles across
-	// engines sharing it (see StageCache and Sweep).
+	// cache, if non-nil, memoizes base timing runs, profiles, and base-run
+	// traces across engines sharing it (see StageCache and Sweep).
 	cache *StageCache
+	// replay enables the trace-replay fast path for selection-dependent
+	// timing runs (see WithReplay). It only engages with a cache attached:
+	// without memoization, recording a trace to replay it once costs as much
+	// as simulating directly.
+	replay bool
 	// observer, if non-nil, is called around every stage execution.
 	observer StageObserver
 }
@@ -125,6 +154,15 @@ func WithSimulator(s Simulator) Option { return func(e *Engine) { e.simulator = 
 // other's backend results.
 func WithStageCache(c *StageCache) Option { return func(e *Engine) { e.cache = c } }
 
+// WithReplay toggles the trace-replay fast path (on by default). With a
+// stage cache attached, a Simulator implementing TraceReplayer, and a run
+// small enough to record (timing.Traceable), selection-dependent timing runs
+// are scored against a memoized base-run trace instead of re-simulating —
+// bit-identical results, several times faster on selection-only grids.
+// WithReplay(false) is the escape hatch forcing every cell through full
+// simulation (the -replay=off flag of cmd/tsweep).
+func WithReplay(on bool) Option { return func(e *Engine) { e.replay = on } }
+
 // WithStageObserver installs an observer called around every stage
 // execution (nil = none, the default — the hot path then pays one nil check
 // and nothing else). Sweep-built cell engines inherit their base engine's
@@ -140,6 +178,7 @@ func New(opts ...Option) *Engine {
 		profiler:  sliceProfiler{},
 		selector:  treeSelector{},
 		simulator: timingSimulator{},
+		replay:    true,
 	}
 	for _, o := range opts {
 		o(e)
@@ -165,16 +204,24 @@ func (e *Engine) stages() core.Stages {
 			return e.selector.Select(regions, opts, regioned)
 		},
 		Simulate: func(ctx context.Context, p *program.Program, pts []*pthread.PThread, cfg timing.Config) (timing.Stats, error) {
-			if e.cache != nil && pts == nil && cfg.Mode == timing.ModeBase {
-				return e.cache.baseStats(ctx, p, cfg, func() (Stats, error) {
-					return e.simulate(ctx, p, nil, cfg, "base")
-				})
-			}
-			stage := "sim"
 			if pts == nil && cfg.Mode == timing.ModeBase {
-				stage = "base"
+				if e.cache != nil {
+					return e.cache.baseStats(ctx, p, cfg, func() (Stats, error) {
+						return e.simulate(ctx, p, nil, cfg, "base")
+					})
+				}
+				return e.simulate(ctx, p, pts, cfg, "base")
 			}
-			return e.simulate(ctx, p, pts, cfg, stage)
+			// Selection-dependent runs replay against the memoized base-run
+			// trace when the fast path applies; otherwise they simulate in
+			// full. Results are bit-identical either way (the refsim-style
+			// equivalence suite in internal/timing and synth pins this).
+			if e.replay && e.cache != nil && timing.Traceable(cfg) {
+				if tr, ok := e.simulator.(TraceReplayer); ok {
+					return e.replaySimulate(ctx, tr, p, pts, cfg)
+				}
+			}
+			return e.simulate(ctx, p, pts, cfg, "sim")
 		},
 	}
 }
@@ -187,6 +234,29 @@ func (e *Engine) simulate(ctx context.Context, p *Program, pts []*PThread, cfg T
 		defer e.observer.StageStart(stage, p.Name)()
 	}
 	return e.simulator.Simulate(ctx, p, pts, cfg)
+}
+
+// replaySimulate is the trace-replay fast path for one selection-dependent
+// timing run: fetch (or record) the memoized base-run trace, then replay the
+// p-threads against it. The observer sees real work only — a "trace" stage
+// inside the cache's compute closure when the recording actually happens,
+// and a "replay" stage per replayed run. Errors propagate; there is no
+// silent fall back to full simulation, so a replay bug can never hide as a
+// performance regression.
+func (e *Engine) replaySimulate(ctx context.Context, tr TraceReplayer, p *Program, pts []*PThread, cfg TimingConfig) (Stats, error) {
+	t, err := e.cache.traceFor(ctx, p, cfg, func() (*Trace, error) {
+		if e.observer != nil {
+			defer e.observer.StageStart("trace", p.Name)()
+		}
+		return tr.RecordTrace(ctx, p, cfg)
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if e.observer != nil {
+		defer e.observer.StageStart("replay", p.Name)()
+	}
+	return tr.Replay(ctx, t, pts, cfg)
 }
 
 // profile runs the profiling backend through the stage cache when one is

@@ -180,6 +180,13 @@ func (r Report) SpeedupPct() float64 {
 	return (r.Pre.IPC/r.Base.IPC - 1) * 100
 }
 
+// TimingConfig builds the simulator configuration this evaluation hands the
+// timing stage for the given mode — the exact config EvaluateContext passes
+// to Stages.Simulate. It is exported so the public package can render stage
+// keys (cache memoization and coordinator routing) from one source instead
+// of re-deriving the mapping.
+func (c Config) TimingConfig(mode timing.Mode) timing.Config { return c.timingConfig(mode) }
+
 // timingConfig builds the simulator configuration for this evaluation.
 func (c Config) timingConfig(mode timing.Mode) timing.Config {
 	tc := timing.DefaultConfig()

@@ -67,6 +67,11 @@ type SelectorOptions = selector.Options
 // TimingConfig parametrizes the detailed timing simulator.
 type TimingConfig = timing.Config
 
+// Trace is a recorded base-run event trace: the complete front-end input of
+// any timing simulation of its program under its recorded configuration
+// family (all modes, any selection). See Simulator and TraceReplayer.
+type Trace = timing.Trace
+
 // Mode selects what simulated p-threads are allowed to do; the diagnostic
 // modes implement the paper's validation methodology (§4.3).
 type Mode = timing.Mode

@@ -137,21 +137,16 @@ func (c *coordinator) probe(ctx context.Context, backend int) (int, error) {
 	return st.Gate.InFlight + int(st.Gate.Queued), nil
 }
 
-// stageKeys names the two memoized stages a cell needs, in the same terms
-// the StageCache keys them: the base timing run by the normalized machine,
-// and the profile by the normalized profiling window. Program pointers
-// cannot cross processes, so (benchmark name, scale) stands in for the
-// program identity — servers build programs once per (workload, scale), so
-// the substitution is exact.
-func stageKeys(bench string, scale int, cfg preexec.Config) (baseKey, profileKey string) {
-	n := cfg.Normalized()
-	m := n.Machine
-	sel := n.Selection
-	baseKey = fmt.Sprintf("base|%s|%d|w%d|l%d|wi%d|mi%d",
-		bench, scale, m.Width, m.MemLat, m.WarmInsts, m.MeasureInsts)
-	profileKey = fmt.Sprintf("prof|%s|%d|wi%d|pi%d|sc%d|ml%d|ri%d",
-		bench, scale, m.WarmInsts, sel.ProfileInsts, sel.Scope, sel.MaxLen, sel.RegionInsts)
-	return baseKey, profileKey
+// stageKeys names the memoized stages a cell needs — base timing run,
+// profile, and (when the run is small enough to record) base-run trace — in
+// the same terms the StageCache keys them. The rendering is
+// preexec.StageKeys, the single shared key source, so routing identity
+// cannot drift from local memoization: program pointers cannot cross
+// processes, so (benchmark name, scale) stands in for the program identity —
+// servers build programs once per (workload, scale), so the substitution is
+// exact.
+func stageKeys(bench string, scale int, cfg preexec.Config) preexec.StageKeySet {
+	return preexec.StageKeys(bench, scale, cfg)
 }
 
 // coordCell is one grid cell as the coordinator schedules it.
@@ -165,35 +160,48 @@ type coordCell struct {
 	// cfg is the decoded configuration, for the local-fallback engine.
 	cfg  preexec.Config
 	prog *preexec.Program
-	// routeKey concatenates both stage keys: cells sharing all their stage
-	// work land on one backend's cache together.
+	// routeKey concatenates the base and profile stage keys: cells sharing
+	// all their stage work land on one backend's cache together. The trace
+	// key never adds routing information — it groups identically to the base
+	// key — so it stays out of the route.
 	routeKey string
-	baseKey  string
-	profKey  string
+	keys     preexec.StageKeySet
 }
 
 // sweep evaluates the grid across the fleet and merges the result in grid
 // order. raws aligns with points (the submitted config fragments; nil for
 // the implicit default point). The merged CacheStats are modeled, not
 // summed: BaseRuns is the number of distinct base-stage groups in the grid
-// and BaseHits the cells beyond the first of each group (likewise profiles)
-// — exactly the counters a fresh single-node cache reports. Summing backend
-// deltas would drift under faults (a truncated response loses a counted
-// run, a retry recounts one), silently breaking byte-identity with the
-// single-node golden.
+// and BaseHits the cells beyond the first of each group (likewise profiles,
+// and traces over the traceable cells only) — exactly the counters a fresh
+// single-node cache reports. Summing backend deltas would drift under
+// faults (a truncated response loses a counted run, a retry recounts one),
+// silently breaking byte-identity with the single-node golden.
 func (c *coordinator) sweep(ctx context.Context, benches []preexec.SweepBench, points []preexec.ConfigPoint, raws []json.RawMessage, scale, workers int, progress func(preexec.SuiteEvent)) (*preexec.SweepResult, error) {
 	cells := make([]coordCell, 0, len(benches)*len(points))
 	baseGroups := make(map[string]bool)
 	profGroups := make(map[string]bool)
+	traceGroups := make(map[string]bool)
+	traceableCells := 0
 	for _, b := range benches {
 		name := b.Name
 		if name == "" {
 			name = b.Program.Name
 		}
 		for pi, pt := range points {
-			bk, pk := stageKeys(name, scale, pt.Config)
-			baseGroups[bk] = true
-			profGroups[pk] = true
+			ks := stageKeys(name, scale, pt.Config)
+			baseGroups[ks.Base] = true
+			profGroups[ks.Profile] = true
+			// Every traceable cell performs exactly one trace lookup (its
+			// selection-dependent run replays); untraceable cells simulate in
+			// full and touch the trace stage not at all. This mirrors the
+			// local-fallback path too: fallback cells run through the
+			// coordinator's own engine, whose replay gating uses the same
+			// Traceable predicate the key rendering does.
+			if ks.Trace != "" {
+				traceGroups[ks.Trace] = true
+				traceableCells++
+			}
 			cells = append(cells, coordCell{
 				bench:    name,
 				point:    pt.Name,
@@ -201,9 +209,8 @@ func (c *coordinator) sweep(ctx context.Context, benches []preexec.SweepBench, p
 				raw:      raws[pi],
 				cfg:      pt.Config,
 				prog:     b.Program,
-				routeKey: bk + "\x00" + pk,
-				baseKey:  bk,
-				profKey:  pk,
+				routeKey: ks.Base + "\x00" + ks.Profile,
+				keys:     ks,
 			})
 		}
 	}
@@ -217,6 +224,8 @@ func (c *coordinator) sweep(ctx context.Context, benches []preexec.SweepBench, p
 		BaseHits:    int64(len(cells) - len(baseGroups)),
 		ProfileRuns: int64(len(profGroups)),
 		ProfileHits: int64(len(cells) - len(profGroups)),
+		TraceRuns:   int64(len(traceGroups)),
+		TraceHits:   int64(traceableCells - len(traceGroups)),
 	}
 
 	var (

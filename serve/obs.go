@@ -26,8 +26,9 @@ type serverObs struct {
 }
 
 // obsStages are the stage labels carrying latency histograms: the engine
-// pipeline stages plus the server's program-build stage.
-var obsStages = []string{"build", "base", "profile", "select", "sim"}
+// pipeline stages (including the trace-replay pair) plus the server's
+// program-build stage.
+var obsStages = []string{"build", "base", "profile", "select", "sim", "trace", "replay"}
 
 // tracerSeed seeds the span-ID sequence. Trace and span IDs are identity,
 // not randomness: a fixed seed keeps them reproducible across runs without
@@ -62,19 +63,25 @@ func newServerObs(s *Server) *serverObs {
 		cache(func(c preexec.CacheStats) int64 { return c.BaseRuns }), lbl("stage", "base"))
 	r.CounterFunc("preexec_stage_cache_runs_total", "",
 		cache(func(c preexec.CacheStats) int64 { return c.ProfileRuns }), lbl("stage", "profile"))
+	r.CounterFunc("preexec_stage_cache_runs_total", "",
+		cache(func(c preexec.CacheStats) int64 { return c.TraceRuns }), lbl("stage", "trace"))
 	r.CounterFunc("preexec_stage_cache_hits_total",
 		"Stage requests served from the shared StageCache.",
 		cache(func(c preexec.CacheStats) int64 { return c.BaseHits }), lbl("stage", "base"))
 	r.CounterFunc("preexec_stage_cache_hits_total", "",
 		cache(func(c preexec.CacheStats) int64 { return c.ProfileHits }), lbl("stage", "profile"))
+	r.CounterFunc("preexec_stage_cache_hits_total", "",
+		cache(func(c preexec.CacheStats) int64 { return c.TraceHits }), lbl("stage", "trace"))
 	r.CounterFunc("preexec_stage_cache_evictions_total",
-		"Cache entries dropped by the LRU bound (both stages).",
+		"Cache entries dropped by the LRU bound (all stages).",
 		cache(func(c preexec.CacheStats) int64 { return c.Evictions }))
 	r.GaugeFunc("preexec_stage_cache_entries",
 		"Cache entries currently held per stage.",
-		func() int64 { base, _ := s.cache.Len(); return int64(base) }, lbl("stage", "base"))
+		func() int64 { base, _, _ := s.cache.Len(); return int64(base) }, lbl("stage", "base"))
 	r.GaugeFunc("preexec_stage_cache_entries", "",
-		func() int64 { _, prof := s.cache.Len(); return int64(prof) }, lbl("stage", "profile"))
+		func() int64 { _, prof, _ := s.cache.Len(); return int64(prof) }, lbl("stage", "profile"))
+	r.GaugeFunc("preexec_stage_cache_entries", "",
+		func() int64 { _, _, trace := s.cache.Len(); return int64(trace) }, lbl("stage", "trace"))
 
 	r.CounterFunc("preexec_flights_started_total",
 		"Evaluations actually computed by the request-coalescing layer.",

@@ -94,13 +94,13 @@ func TestSharedCacheStress(t *testing.T) {
 	}
 
 	st := cache.Stats()
-	base, prof := cache.Len()
-	if base > limit || prof > limit {
-		t.Fatalf("cache holds %d/%d entries, want <= %d each", base, prof, limit)
+	base, prof, trace := cache.Len()
+	if base > limit || prof > limit || trace > limit {
+		t.Fatalf("cache holds %d/%d/%d entries, want <= %d each", base, prof, trace, limit)
 	}
-	if got, want := st.BaseRuns+st.ProfileRuns, int64(base+prof)+st.Evictions; got != want {
+	if got, want := st.BaseRuns+st.ProfileRuns+st.TraceRuns, int64(base+prof+trace)+st.Evictions; got != want {
 		t.Fatalf("eviction books don't balance: %d stage runs != %d resident + %d evicted",
-			got, base+prof, st.Evictions)
+			got, base+prof+trace, st.Evictions)
 	}
 	// The workload x config matrix exceeds the bound many times over, so the
 	// LRU policy must actually have fired.

@@ -16,6 +16,7 @@ type statsResponse struct {
 	CacheEntries struct {
 		Base    int `json:"base"`
 		Profile int `json:"profile"`
+		Trace   int `json:"trace"`
 	} `json:"cache_entries"`
 	// Requests gauges HTTP traffic; InFlight includes the stats request
 	// reporting it.
@@ -55,7 +56,7 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
 	resp.Cache = s.cache.Stats()
-	resp.CacheEntries.Base, resp.CacheEntries.Profile = s.cache.Len()
+	resp.CacheEntries.Base, resp.CacheEntries.Profile, resp.CacheEntries.Trace = s.cache.Len()
 	resp.Requests.InFlight = s.obs.requestsInFlight.Value()
 	resp.Requests.Completed = s.obs.requestsCompleted.Value()
 	resp.Flights.Started, resp.Flights.Coalesced = s.flights.Stats()

@@ -81,7 +81,11 @@ func TestSweepSelectionGridCacheCounts(t *testing.T) {
 	cached := runSweep(t, &preexec.Sweep{}, benches, points)
 	uncached := runSweep(t, &preexec.Sweep{NoCache: true}, benches, points)
 
-	want := preexec.CacheStats{BaseRuns: 10, BaseHits: 30, ProfileRuns: 10, ProfileHits: 30}
+	want := preexec.CacheStats{
+		BaseRuns: 10, BaseHits: 30,
+		ProfileRuns: 10, ProfileHits: 30,
+		TraceRuns: 10, TraceHits: 30,
+	}
 	if cached.Cache != want {
 		t.Errorf("cache stats = %+v, want %+v", cached.Cache, want)
 	}
@@ -129,8 +133,13 @@ func TestSweepMixedGridKeySeparation(t *testing.T) {
 	// Per benchmark: base/nomerge/scope512/nothrottle share one base run
 	// (scope and the p-thread-only throttle don't feed it), ml140 needs its
 	// own; base/nomerge/ml140/nothrottle share one profile (memory latency
-	// doesn't feed it), scope512 needs its own.
-	want := preexec.CacheStats{BaseRuns: 4, BaseHits: 6, ProfileRuns: 4, ProfileHits: 6}
+	// doesn't feed it), scope512 needs its own. Traces group exactly like
+	// base runs (the recorded stream is selection-independent).
+	want := preexec.CacheStats{
+		BaseRuns: 4, BaseHits: 6,
+		ProfileRuns: 4, ProfileHits: 6,
+		TraceRuns: 4, TraceHits: 6,
+	}
 	if cached.Cache != want {
 		t.Errorf("cache stats = %+v, want %+v", cached.Cache, want)
 	}
@@ -149,16 +158,24 @@ func TestSweepSharedCacheAcrossRuns(t *testing.T) {
 	s := &preexec.Sweep{Cache: cache}
 	first := runSweep(t, s, benches, selectionPoints(10_000, 30_000)[:2])
 	second := runSweep(t, s, benches, selectionPoints(10_000, 30_000)[2:])
-	wantFirst := preexec.CacheStats{BaseRuns: 1, BaseHits: 1, ProfileRuns: 1, ProfileHits: 1}
+	wantFirst := preexec.CacheStats{
+		BaseRuns: 1, BaseHits: 1,
+		ProfileRuns: 1, ProfileHits: 1,
+		TraceRuns: 1, TraceHits: 1,
+	}
 	if first.Cache != wantFirst {
 		t.Errorf("first run stats = %+v, want %+v", first.Cache, wantFirst)
 	}
 	// The second run's stages are all warm: zero runs, per-run hit counts.
-	wantSecond := preexec.CacheStats{BaseHits: 2, ProfileHits: 2}
+	wantSecond := preexec.CacheStats{BaseHits: 2, ProfileHits: 2, TraceHits: 2}
 	if second.Cache != wantSecond {
 		t.Errorf("second run stats = %+v, want %+v", second.Cache, wantSecond)
 	}
-	wantTotal := preexec.CacheStats{BaseRuns: 1, BaseHits: 3, ProfileRuns: 1, ProfileHits: 3}
+	wantTotal := preexec.CacheStats{
+		BaseRuns: 1, BaseHits: 3,
+		ProfileRuns: 1, ProfileHits: 3,
+		TraceRuns: 1, TraceHits: 3,
+	}
 	if got := cache.Stats(); got != wantTotal {
 		t.Errorf("cumulative cache stats = %+v, want %+v", got, wantTotal)
 	}
@@ -437,7 +454,11 @@ func TestEngineStageCacheOption(t *testing.T) {
 	if _, err := b.Evaluate(t.Context(), prog); err != nil {
 		t.Fatal(err)
 	}
-	want := preexec.CacheStats{BaseRuns: 1, BaseHits: 1, ProfileRuns: 1, ProfileHits: 1}
+	want := preexec.CacheStats{
+		BaseRuns: 1, BaseHits: 1,
+		ProfileRuns: 1, ProfileHits: 1,
+		TraceRuns: 1, TraceHits: 1,
+	}
 	if got := cache.Stats(); got != want {
 		t.Errorf("cache stats = %+v, want %+v", got, want)
 	}
